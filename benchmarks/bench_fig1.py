@@ -1,0 +1,33 @@
+"""Figure 1 — BFS normalized throughput vs. timeline.
+
+The paper plots four curves (Gunrock BSP + three Atos variants) per
+dataset; the Atos curves should compress the work into an early
+high-throughput burst, while BSP on mesh graphs shows a long low
+plateau (the small-frontier problem made visible).
+"""
+
+import numpy as np
+import pytest
+
+DATASETS = ["soc-LiveJournal1", "hollywood-2009", "road_usa", "roadNet-CA"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig1(benchmark, lab, save_artifact, dataset):
+    fig = benchmark.pedantic(
+        lambda: lab.format_figure("bfs", dataset), rounds=1, iterations=1
+    )
+    save_artifact(f"fig1_{dataset}", fig)
+
+
+def test_fig1_atos_finishes_earlier_on_mesh(lab):
+    """Persistent curves end (rates drop to zero) before BSP's on roads."""
+    curves = dict(lab.figure("bfs", "road_usa", bins=50))
+    bsp = curves["BSP"].rates
+    atos = curves["persist-CTA"].rates
+
+    def active_end(r: np.ndarray) -> int:
+        nz = np.flatnonzero(r > 0)
+        return int(nz[-1]) if nz.size else 0
+
+    assert active_end(atos) < active_end(bsp)

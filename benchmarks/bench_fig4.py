@@ -1,0 +1,44 @@
+"""Figure 4 — runtime heatmap over (worker size, fetch size).
+
+The paper sweeps CTA widths against FETCH_SIZE for BFS and PageRank on
+soc-LiveJournal (scale-free) and road_usa (mesh); only the lower triangle
+(fetch <= worker width) is valid.  The qualitative claims: the optimum is
+in the interior (mixed task/data parallelism beats either extreme), and
+the optimal point differs between graph classes.
+"""
+
+import numpy as np
+import pytest
+
+WORKERS = (32, 64, 128, 256, 512)
+FETCHES = (1, 4, 16, 64, 256)
+
+
+@pytest.mark.parametrize("app", ["bfs", "pagerank"])
+@pytest.mark.parametrize("dataset", ["soc-LiveJournal1", "road_usa"])
+def test_fig4(benchmark, lab, save_artifact, app, dataset):
+    table = benchmark.pedantic(
+        lambda: lab.format_sweep(
+            app, dataset, worker_sizes=WORKERS, fetch_sizes=FETCHES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(f"fig4_{app}_{dataset}", table)
+
+
+def test_fig4_triangle_validity(lab):
+    grid = lab.sweep("bfs", "roadNet-CA", worker_sizes=WORKERS, fetch_sizes=FETCHES)
+    for i, w in enumerate(WORKERS):
+        for j, f in enumerate(FETCHES):
+            if f > w:
+                assert np.isnan(grid[i, j])
+            else:
+                assert grid[i, j] > 0
+
+
+def test_fig4_fetch_size_matters(lab):
+    """Runtime is not flat across fetch sizes (the trade-off is real)."""
+    grid = lab.sweep("bfs", "road_usa", worker_sizes=(256,), fetch_sizes=(1, 16, 256))
+    valid = grid[0][~np.isnan(grid[0])]
+    assert valid.max() > 1.05 * valid.min()

@@ -1,0 +1,53 @@
+"""Section 6.5 — kernel strategy: persistent vs. discrete.
+
+The paper's claims:
+
+* the persistent/discrete gap is largest for BFS on mesh graphs (many
+  small kernel launches at high diameter);
+* on id-permuted indochina-2004 coloring, the persistent variant is ~4.3x
+  faster than the discrete one.
+"""
+
+from repro.analysis.tables import format_table
+
+
+def test_kernel_strategy_mesh_bfs(benchmark, lab, save_artifact):
+    def gaps():
+        rows = []
+        for ds in ("road_usa", "roadNet-CA", "soc-LiveJournal1"):
+            p = lab.run("bfs", ds, "persist-CTA")
+            d = lab.run("bfs", ds, "discrete-CTA")
+            rows.append([ds, f"{p.elapsed_ms:.3f}", f"{d.elapsed_ms:.3f}", f"{d.elapsed_ns / p.elapsed_ns:.2f}"])
+        return format_table(
+            ["Dataset", "persistent (ms)", "discrete (ms)", "persist adv."],
+            rows,
+            title="Section 6.5 — BFS kernel-strategy gap (persist-CTA vs discrete-CTA)",
+        )
+
+    table = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    save_artifact("kernel_strategy_bfs", table)
+
+    # the gap on meshes exceeds the gap on scale-free graphs
+    def gap(ds):
+        p = lab.run("bfs", ds, "persist-CTA")
+        d = lab.run("bfs", ds, "discrete-CTA")
+        return d.elapsed_ns / p.elapsed_ns
+
+    assert gap("road_usa") > gap("soc-LiveJournal1")
+
+
+def test_kernel_strategy_permuted_coloring(benchmark, lab, save_artifact):
+    """Paper: persistent 4.3x faster than discrete on permuted indochina."""
+
+    def measure():
+        p = lab.run("coloring", "indochina-2004", "persist-warp", permuted=True)
+        d = lab.run("coloring", "indochina-2004", "discrete-warp", permuted=True)
+        return d.elapsed_ns / p.elapsed_ns
+
+    advantage = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_artifact(
+        "kernel_strategy_coloring",
+        "Section 6.5 — permuted indochina-2004 coloring\n"
+        f"persistent advantage over discrete: x{advantage:.2f} (paper: x4.3)",
+    )
+    assert advantage > 1.3

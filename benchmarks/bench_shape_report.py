@@ -1,0 +1,44 @@
+"""The suite-level shape verdict: every Table 1/4 cell vs. the paper.
+
+This is the reproduction's bottom line.  For each cell the paper published,
+the report pairs the paper's value with ours and judges:
+
+* ``match`` — same winner, within 2x in magnitude;
+* ``direction`` — same winner (or a near-tie), magnitude off;
+* ``miss`` — the winner flipped.
+
+The assertion: a large majority of cells agree on the winner.
+"""
+
+from repro.harness.report import compare_table1, compare_table4, shape_report
+
+
+def test_shape_report(benchmark, lab, save_artifact):
+    report = benchmark.pedantic(
+        lambda: shape_report(lab), rounds=1, iterations=1
+    )
+    save_artifact("shape_report", report)
+
+
+def test_majority_of_cells_agree_on_winner(lab):
+    verdicts = []
+    for app in ("bfs", "pagerank", "coloring"):
+        verdicts += compare_table1(lab, app)
+        verdicts += compare_table4(lab, app)
+    agreeing = sum(v.verdict in ("match", "direction") for v in verdicts)
+    assert agreeing / len(verdicts) >= 0.7, (
+        f"only {agreeing}/{len(verdicts)} cells agree with the paper"
+    )
+
+
+def test_headline_cells_match(lab):
+    """The cells the paper's abstract leans on must at least agree in
+    direction."""
+    t1 = {(v.dataset, v.impl): v for v in compare_table1(lab, "bfs")}
+    # BFS: persist-CTA wins big on both road networks
+    assert t1[("road_usa", "persist-CTA")].verdict != "miss"
+    assert t1[("roadNet-CA", "persist-CTA")].verdict != "miss"
+    gc = {(v.dataset, v.impl): v for v in compare_table1(lab, "coloring")}
+    # coloring: persist-warp wins on scale-free, loses on road_usa
+    assert gc[("soc-LiveJournal1", "persist-warp")].verdict != "miss"
+    assert gc[("road_usa", "persist-warp")].verdict != "miss"

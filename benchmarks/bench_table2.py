@@ -1,0 +1,24 @@
+"""Table 2 — dataset summary (vertices, edges, diameter, degree stats).
+
+The stand-ins' stats are reported next to the paper's originals; the test
+asserts the two structural axes the analysis depends on (degree skew on the
+scale-free trio, diameter/low-degree on the road pair).
+"""
+
+from repro.graph.datasets import SCALE_FREE_KEYS
+
+
+def test_table2(benchmark, lab, save_artifact):
+    table = benchmark.pedantic(lab.format_table2, rounds=1, iterations=1)
+    save_artifact("table2", table)
+    rows = lab.table2()
+    for key, s in zip(
+        ("soc-LiveJournal1", "hollywood-2009", "indochina-2004", "road_usa", "roadNet-CA"),
+        rows,
+    ):
+        if key in SCALE_FREE_KEYS:
+            assert s.graph_type == "scale-free", key
+            assert s.max_out_degree > 10 * s.avg_degree, key
+        else:
+            assert s.graph_type == "mesh-like", key
+            assert s.diameter > 25, key

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact through a session-scoped
+:class:`repro.harness.runner.Lab`, so runs are shared across benchmarks
+(Figure 1 reuses Table 1's BFS runs, etc.).  The artifact text is printed
+to the terminal and archived under ``benchmarks/out/`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SIZE`` — dataset size preset (``tiny``/``small``/``default``;
+  default ``small``).  ``default`` gives the most paper-faithful shapes
+  (graphs large relative to the worker pool) at a few minutes of wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import Lab
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    size = os.environ.get("REPRO_BENCH_SIZE", "small")
+    return Lab(size=size)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Print an artifact and archive it under benchmarks/out/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (artifact_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save

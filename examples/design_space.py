@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Exploring the Atos design space (the paper's Section 3 / Figure 4).
+
+Four knobs define an Atos configuration: kernel strategy, worker size,
+fetch size, and queue count.  This example sweeps worker x fetch for BFS
+on a scale-free and a mesh graph (Figure 4), then applies the paper's
+Section 7 selection guidelines to each dataset and checks that the
+recommended configuration actually wins.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro import Lab
+from repro.analysis.challenges import classify_challenges
+from repro.harness.experiments import TABLE1_IMPLS
+
+WORKERS = (32, 64, 128, 256)
+FETCHES = (1, 4, 16, 64)
+
+
+def recommend(lab: Lab, dataset: str) -> str:
+    """Paper Section 7: pick a variant from the challenge classification."""
+    report = classify_challenges(
+        lab.graph(dataset), lab.run("bfs", dataset, "BSP"), spec=lab.spec
+    )
+    if report.small_frontier:
+        # guideline (2): small frontier -> persistent kernel;
+        # guideline (3): plus data-parallel LB if any imbalance remains
+        return "persist-CTA"
+    if report.load_imbalance:
+        # guideline (3): imbalance -> combine task- and data-parallel LB
+        return "persist-CTA"
+    return "discrete-CTA"
+
+
+def main() -> None:
+    lab = Lab(size="small")
+
+    for dataset in ("soc-LiveJournal1", "road_usa"):
+        print(lab.format_sweep("bfs", dataset, worker_sizes=WORKERS, fetch_sizes=FETCHES))
+        grid = lab.sweep("bfs", dataset, worker_sizes=WORKERS, fetch_sizes=FETCHES)
+        best = np.unravel_index(np.nanargmin(grid), grid.shape)
+        print(
+            f"optimum: worker={WORKERS[best[0]]}, fetch={FETCHES[best[1]]} "
+            f"at {np.nanmin(grid):.3f} ms\n"
+        )
+
+    print("Section 7 guideline check (BFS):")
+    for dataset in ("soc-LiveJournal1", "road_usa", "roadNet-CA"):
+        pick = recommend(lab, dataset)
+        row = lab.table1("bfs", (dataset,))[0]
+        ranked = sorted(row.speedups.items(), key=lambda kv: -kv[1])
+        verdict = "best" if ranked[0][0] == pick else f"ranked behind {ranked[0][0]}"
+        print(
+            f"  {dataset:18s} -> recommend {pick:12s} "
+            f"(x{row.speedups[pick]:.2f} vs BSP; {verdict})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Beyond the paper's three apps: weighted SSSP and DAG task pipelines.
+
+Two extension features the paper sketches but does not evaluate:
+
+1. **Weighted SSSP** — the Section 3.1 related-work contrast made
+   measurable: speculative (relaxed-barrier) Dijkstra against unordered
+   Bellman-Ford.  The paper argues speculation stays "within a small
+   constant factor" of the ordered workload, far below Bellman-Ford's
+   ``diameter x |E|``.
+2. **DAG dependencies via join counters** — Section 3: "Atos can be
+   extended in a straightforward way to DAGs by adding (atomic) counters
+   for each join".  We run a 2-D wavefront (each cell depends on its north
+   and west neighbors) and verify no dependency is ever violated despite
+   fully asynchronous scheduling.
+
+Run:  python examples/task_pipeline.py
+"""
+
+import numpy as np
+
+from repro import PERSIST_CTA, PERSIST_WARP
+from repro.apps import sssp
+from repro.core.dag import Dag, DagKernel
+from repro.core.scheduler import run
+from repro.graph.generators import road_network
+
+
+def sssp_demo() -> None:
+    print("=== speculative SSSP vs Bellman-Ford ===")
+    graph = road_network(60, 40, seed=9, name="road-60x40")
+    weights = sssp.random_weights(graph, low=1.0, high=25.0, seed=3)
+
+    bf = sssp.run_bellman_ford(graph, weights=weights)
+    spec_run = sssp.run_atos(graph, PERSIST_CTA, weights=weights)
+    assert sssp.validate_distances(graph, weights, bf.output)
+    assert sssp.validate_distances(graph, weights, spec_run.output)
+
+    print(f"graph: |V|={graph.num_vertices}, |E|={graph.num_edges}")
+    print(
+        f"Bellman-Ford: {bf.elapsed_ms:8.3f} ms, "
+        f"{bf.work_units:9.0f} relaxations over {bf.iterations} rounds"
+    )
+    print(
+        f"speculative:  {spec_run.elapsed_ms:8.3f} ms, "
+        f"{spec_run.work_units:9.0f} relaxations (single persistent kernel)"
+    )
+    print(
+        f"relaxations vs |E|: Bellman-Ford {bf.work_units / graph.num_edges:.2f}x, "
+        f"speculative {spec_run.work_units / graph.num_edges:.2f}x\n"
+    )
+
+
+def wavefront_demo() -> None:
+    print("=== DAG wavefront via join counters ===")
+    n = 24
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if i + 1 < n:
+                edges.append((i * n + j, (i + 1) * n + j))
+            if j + 1 < n:
+                edges.append((i * n + j, i * n + j + 1))
+    dag = Dag.from_edges(n * n, edges)
+
+    # each cell "computes" by combining its predecessors (dynamic programming)
+    value = np.zeros(n * n)
+
+    def compute(node: int, t: float) -> None:
+        i, j = divmod(node, n)
+        north = value[(i - 1) * n + j] if i else 0.0
+        west = value[i * n + (j - 1)] if j else 0.0
+        value[node] = max(north, west) + 1.0
+
+    kernel = DagKernel(dag, compute_fn=compute, cost_fn=lambda v: 6)
+    result = run(kernel, PERSIST_WARP)
+    assert kernel.all_executed()
+    assert kernel.respects_dependencies()
+    # the DP recurrence gives value[(i,j)] = i + j + 1 when dependencies held
+    expect = np.array([[i + j + 1 for j in range(n)] for i in range(n)]).ravel()
+    assert np.array_equal(value, expect), "a dependency was violated!"
+
+    print(f"{n}x{n} wavefront: {dag.num_nodes} tasks, {len(edges)} dependency edges")
+    print(
+        f"executed in {result.elapsed_ns / 1e3:.1f} us simulated on "
+        f"{result.worker_slots} workers; critical path = {2 * n - 1} waves"
+    )
+    print("every join fired exactly once; all dependencies respected\n")
+
+
+if __name__ == "__main__":
+    sssp_demo()
+    wavefront_demo()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Web-page ranking with asynchronous PageRank.
+
+PageRank is the paper's example of a *naturally unordered* algorithm
+(Dijkstra's don't-care non-determinism): the global barrier buys nothing,
+so relaxing it is pure win.  Better still, Table 4 shows the asynchronous
+version usually does *less* work than BSP — a hub's residue accumulates
+across many incoming pushes and is drained with a single traversal of its
+edge list, where BSP would have traversed it once per iteration.
+
+This example ranks the indochina-2004 stand-in (a web crawl), verifies the
+asynchronous result against a power-iteration reference, and shows the
+work-savings effect.
+
+Run:  python examples/web_ranking.py
+"""
+
+import numpy as np
+
+from repro import PERSIST_CTA, Lab
+from repro.apps import pagerank
+
+
+def main() -> None:
+    lab = Lab(size="small")
+    graph = lab.graph("indochina-2004")
+    print(f"ranking {graph.name}: |V|={graph.num_vertices}, |E|={graph.num_edges}\n")
+
+    bsp = lab.run("pagerank", "indochina-2004", "BSP")
+    atos = lab.run("pagerank", "indochina-2004", "persist-CTA")
+
+    # correctness: both converge to the same fixed point
+    err = pagerank.max_rank_error(graph, atos.output)
+    print(f"async rank error vs power iteration: {err:.2e}")
+    agree = np.abs(bsp.output - atos.output).max()
+    print(f"max |BSP - async| rank difference:   {agree:.2e}\n")
+
+    # the top-ranked pages
+    top = np.argsort(atos.output)[::-1][:5]
+    print("top 5 vertices by rank:")
+    for v in top:
+        print(
+            f"  vertex {v:6d}  rank={atos.output[v]:8.2f}  "
+            f"in-degree={int(graph.in_degrees()[v])}"
+        )
+    print()
+
+    # the Section 6.3 PageRank story: less work, more speed
+    ratio = atos.work_units / bsp.work_units
+    print(f"BSP:   {bsp.elapsed_ms:8.3f} ms, {bsp.work_units:12.0f} edge pushes")
+    print(f"async: {atos.elapsed_ms:8.3f} ms, {atos.work_units:12.0f} edge pushes")
+    print(f"speedup x{bsp.elapsed_ns / atos.elapsed_ns:.2f}, workload ratio {ratio:.2f}")
+    if ratio < 1.0:
+        print(
+            "-> the asynchronous run did LESS work than BSP: residues "
+            "accumulated between pops (the paper's Table 4 effect)"
+        )
+    print()
+    print(lab.format_table1("pagerank", ("indochina-2004", "roadNet-CA")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Atos reproduction: a task-parallel GPU scheduler for graph analytics.
+
+This package reproduces *Atos: A Task-Parallel GPU Scheduler for Graph
+Analytics* (Chen et al., ICPP 2022) on a discrete-event GPU model — see
+DESIGN.md for the full substitution map and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+
+Quick tour
+----------
+>>> from repro import Lab
+>>> lab = Lab(size="small")
+>>> print(lab.format_table1("bfs"))          # doctest: +SKIP
+
+Layout:
+
+* :mod:`repro.graph` — CSR graphs, generators, the five dataset stand-ins;
+* :mod:`repro.sim` — the GPU model (occupancy, bandwidth, event loop);
+* :mod:`repro.queueing` — simulated MPMC work queues;
+* :mod:`repro.core` — the Atos scheduler (the paper's contribution);
+* :mod:`repro.bsp` — the Gunrock-style bulk-synchronous baseline;
+* :mod:`repro.apps` — BFS, PageRank, graph coloring (BSP + relaxed);
+* :mod:`repro.analysis` — overwork, challenge classification, figures;
+* :mod:`repro.harness` — the experiment runner behind ``benchmarks/``.
+"""
+
+from repro.core import (
+    DISCRETE_CTA,
+    DISCRETE_WARP,
+    PERSIST_CTA,
+    PERSIST_WARP,
+    Atos,
+    AtosConfig,
+    KernelStrategy,
+    variant_by_name,
+)
+from repro.graph import Csr, from_edges, load_dataset
+from repro.harness import Lab
+from repro.sim import FULL_V100_SPEC, V100_SPEC, GpuSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atos",
+    "AtosConfig",
+    "KernelStrategy",
+    "PERSIST_WARP",
+    "PERSIST_CTA",
+    "DISCRETE_CTA",
+    "DISCRETE_WARP",
+    "variant_by_name",
+    "Csr",
+    "from_edges",
+    "load_dataset",
+    "Lab",
+    "GpuSpec",
+    "V100_SPEC",
+    "FULL_V100_SPEC",
+    "__version__",
+]

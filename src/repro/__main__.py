@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate paper artifacts from a shell.
+
+Usage::
+
+    python -m repro list                     # show available experiments
+    python -m repro table1 --app bfs         # one Table 1 sub-table
+    python -m repro table2                   # dataset stats
+    python -m repro table3                   # challenge classification
+    python -m repro table4 --app coloring    # workload ratios
+    python -m repro fig --app bfs --dataset road_usa
+    python -m repro sweep --app bfs --dataset soc-LiveJournal1
+    python -m repro permute                  # the Section 6.3 study
+    python -m repro report                   # paper-vs-measured verdicts
+    python -m repro all                      # everything (slow)
+
+Common options: ``--size {tiny,small,default}`` (default ``small``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS, SCALE_FREE
+from repro.harness.runner import Lab
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Atos paper's tables and figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "list", "table1", "table2", "table3", "table4",
+            "fig", "sweep", "permute", "report", "all",
+        ],
+    )
+    parser.add_argument("--app", default="bfs", choices=["bfs", "pagerank", "coloring"])
+    parser.add_argument("--dataset", default="soc-LiveJournal1")
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for key, exp in EXPERIMENTS.items():
+            print(f"{key:16s} {exp.paper_artifact:24s} {exp.description}")
+        return 0
+
+    lab = Lab(size=args.size)
+    if args.command == "table1":
+        print(lab.format_table1(args.app))
+    elif args.command == "table2":
+        print(lab.format_table2())
+    elif args.command == "table3":
+        print(lab.format_table3())
+    elif args.command == "table4":
+        print(lab.format_table4(args.app))
+    elif args.command == "fig":
+        print(lab.format_figure(args.app, args.dataset))
+    elif args.command == "sweep":
+        print(lab.format_sweep(args.app, args.dataset))
+    elif args.command == "permute":
+        print(lab.format_permutation_study(SCALE_FREE))
+    elif args.command == "report":
+        from repro.harness.report import shape_report
+
+        print(shape_report(lab))
+    elif args.command == "all":
+        print(lab.format_table2(), end="\n\n")
+        for app in ("bfs", "pagerank", "coloring"):
+            print(lab.format_table1(app), end="\n\n")
+            print(lab.format_table4(app), end="\n\n")
+        print(lab.format_table3(), end="\n\n")
+        print(lab.format_permutation_study(SCALE_FREE))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Analysis layer: the paper's tables and figures from raw run records.
+
+* :mod:`repro.analysis.overwork` — workload ratios (Table 4);
+* :mod:`repro.analysis.challenges` — small-frontier / load-imbalance
+  classification (Table 3);
+* :mod:`repro.analysis.throughput` — normalized-throughput series and
+  terminal figures (Figures 1-3);
+* :mod:`repro.analysis.tables` — ASCII table rendering shared by the
+  benchmark harness and the examples.
+"""
+
+from repro.analysis.challenges import ChallengeReport, classify_challenges
+from repro.analysis.frontier import (
+    FrontierSample,
+    frontier_series,
+    saturation_point,
+    throughput_vs_frontier,
+)
+from repro.analysis.overwork import coloring_workload_ratio, workload_ratio
+from repro.analysis.tables import format_table
+from repro.analysis.throughput import normalized_series, render_figure
+
+__all__ = [
+    "workload_ratio",
+    "coloring_workload_ratio",
+    "ChallengeReport",
+    "classify_challenges",
+    "format_table",
+    "normalized_series",
+    "render_figure",
+    "FrontierSample",
+    "frontier_series",
+    "throughput_vs_frontier",
+    "saturation_point",
+]

@@ -1,0 +1,147 @@
+"""Frontier-size analysis (the Gunrock study the paper cites as [24]).
+
+The paper's small-frontier argument leans on Gunrock's published
+"Throughput vs. Frontier Size" analysis: below some frontier size the GPU
+cannot be filled and throughput collapses.  This module derives the same
+curves from our BSP runs:
+
+* :func:`frontier_series` — per-iteration ``(frontier_size, edges,
+  busy_time)`` samples from a BSP application run;
+* :func:`throughput_vs_frontier` — the [24]-style scatter, aggregated into
+  size bins;
+* :func:`saturation_point` — the smallest frontier that reaches a target
+  fraction of peak throughput (the "fill the GPU" threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import Csr
+from repro.sim.cost import bsp_kernel_time
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = [
+    "FrontierSample",
+    "frontier_series",
+    "throughput_vs_frontier",
+    "saturation_point",
+]
+
+
+@dataclass(frozen=True)
+class FrontierSample:
+    """One BSP iteration's frontier and its modeled processing rate."""
+
+    iteration: int
+    frontier_size: int
+    edge_count: int
+    busy_ns: float
+
+    @property
+    def throughput(self) -> float:
+        """Edges per ns while this frontier was being processed."""
+        if self.busy_ns <= 0:
+            return 0.0
+        return self.edge_count / self.busy_ns
+
+
+def frontier_series(
+    graph: Csr,
+    *,
+    source: int = 0,
+    spec: GpuSpec = V100_SPEC,
+    strategy: str = "lbs",
+) -> list[FrontierSample]:
+    """Level-synchronous BFS frontier trajectory with modeled kernel times.
+
+    This replays the BSP BFS frontier evolution (the app layer's run_bsp
+    does the same walk) and records the per-iteration cost-model output,
+    giving the raw material of the [24] analysis without re-running the
+    full application machinery.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range")
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    samples = []
+    iteration = 0
+    while frontier.size:
+        _, nbrs = graph.gather_neighbors(frontier)
+        busy = bsp_kernel_time(
+            spec,
+            frontier_size=int(frontier.size),
+            edge_count=int(nbrs.size),
+            strategy=strategy,
+        )
+        samples.append(
+            FrontierSample(
+                iteration=iteration,
+                frontier_size=int(frontier.size),
+                edge_count=int(nbrs.size),
+                busy_ns=busy + spec.kernel_launch_ns + spec.barrier_ns,
+            )
+        )
+        iteration += 1
+        if nbrs.size == 0:
+            break
+        fresh = np.unique(nbrs[depth[nbrs] < 0])
+        if fresh.size == 0:
+            break
+        depth[fresh] = iteration
+        frontier = fresh
+    return samples
+
+
+def throughput_vs_frontier(
+    samples: list[FrontierSample], *, bins: int = 12
+) -> list[tuple[float, float]]:
+    """Aggregate samples into log-spaced frontier-size bins.
+
+    Returns ``[(bin_center_size, mean_throughput), ...]`` for non-empty
+    bins, sorted by size — the [24] curve.
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    sized = [s for s in samples if s.frontier_size > 0]
+    if not sized:
+        return []
+    sizes = np.array([s.frontier_size for s in sized], dtype=np.float64)
+    rates = np.array([s.throughput for s in sized])
+    lo, hi = sizes.min(), sizes.max()
+    if lo == hi:
+        return [(float(lo), float(rates.mean()))]
+    edges = np.geomspace(lo, hi * 1.0001, bins + 1)
+    out = []
+    for i in range(bins):
+        mask = (sizes >= edges[i]) & (sizes < edges[i + 1])
+        if mask.any():
+            center = float(np.sqrt(edges[i] * edges[i + 1]))
+            out.append((center, float(rates[mask].mean())))
+    return out
+
+
+def saturation_point(
+    samples: list[FrontierSample], *, fraction: float = 0.5
+) -> int | None:
+    """Smallest frontier size reaching ``fraction`` of peak throughput.
+
+    Returns ``None`` when no frontier gets there (a run entirely inside
+    the small-frontier regime — e.g. BFS on road networks).
+    """
+    if not (0 < fraction <= 1):
+        raise ValueError("fraction must be in (0, 1]")
+    curve = throughput_vs_frontier(samples)
+    if not curve:
+        return None
+    peak = max(rate for _, rate in curve)
+    if peak <= 0:
+        return None
+    for size, rate in curve:
+        if rate >= fraction * peak:
+            return int(round(size))
+    return None

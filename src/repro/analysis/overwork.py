@@ -1,0 +1,42 @@
+"""Workload-ratio computation (the paper's Table 4).
+
+Table 4 has two conventions:
+
+* **BFS / PageRank** — the ratio of an Atos implementation's work (edge
+  traversals) to the Gunrock baseline's work on the same dataset.  A ratio
+  of ``n`` means the relaxed-barrier run did ``n`` times the edge work.
+* **Graph coloring** — every implementation (including BSP) is speculative,
+  so the ratio is against the lowest possible workload: one color
+  assignment per vertex, i.e. ``assignments / |V|``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import AppResult
+
+__all__ = ["workload_ratio", "coloring_workload_ratio"]
+
+
+def workload_ratio(result: AppResult, baseline: AppResult) -> float:
+    """Atos-vs-BSP work ratio for BFS and PageRank rows of Table 4."""
+    if result.app != baseline.app:
+        raise ValueError(
+            f"cannot compare work across apps: {result.app} vs {baseline.app}"
+        )
+    if result.dataset != baseline.dataset:
+        raise ValueError(
+            f"cannot compare work across datasets: "
+            f"{result.dataset} vs {baseline.dataset}"
+        )
+    if baseline.work_units <= 0:
+        raise ValueError("baseline performed no work")
+    return result.work_units / baseline.work_units
+
+
+def coloring_workload_ratio(result: AppResult, num_vertices: int) -> float:
+    """Assignments-per-vertex ratio for the coloring rows of Table 4."""
+    if result.app != "coloring":
+        raise ValueError(f"expected a coloring result, got {result.app!r}")
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    return result.work_units / num_vertices

@@ -1,0 +1,87 @@
+"""Normalized-throughput figures (the paper's Figures 1-3).
+
+The paper plots *normalized throughput* — measured throughput divided by
+the overwork factor from Table 4 — against the execution timeline, one
+curve per implementation.  ``normalized_series`` produces the numeric
+series; ``render_figure`` draws the terminal version (one sparkline per
+implementation, shared time axis), which is what the benchmark harness
+prints and what EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppResult
+from repro.sim.trace import ThroughputSeries
+
+__all__ = ["normalized_series", "render_figure", "series_csv"]
+
+
+def normalized_series(
+    result: AppResult,
+    overwork_factor: float,
+    *,
+    bins: int = 60,
+    end_time: float | None = None,
+) -> ThroughputSeries:
+    """Items/ns over the run, divided by the overwork factor.
+
+    ``end_time`` lets multiple implementations share one time axis (the
+    paper's figures clip each curve at its own end; we keep a common axis
+    so the sparklines align).
+    """
+    series = result.trace.series(bins=bins, end_time=end_time or result.elapsed_ns)
+    return series.normalized(overwork_factor)
+
+
+def render_figure(
+    title: str,
+    curves: list[tuple[str, ThroughputSeries]],
+    *,
+    width: int = 60,
+) -> str:
+    """One labelled sparkline per implementation, common peak scale."""
+    blocks = "▁▂▃▄▅▆▇█"
+    peak = max((c.peak() for _, c in curves), default=0.0)
+    lines = [title]
+    label_w = max((len(name) for name, _ in curves), default=0)
+    for name, series in curves:
+        if series.rates.size == 0 or peak <= 0:
+            spark = "(no data)"
+        else:
+            rates = series.rates
+            if rates.size > width:
+                # re-bin to the display width
+                idx = (np.arange(rates.size) * width // rates.size)
+                agg = np.zeros(width)
+                counts = np.bincount(idx, minlength=width).astype(float)
+                np.add.at(agg, idx, rates)
+                rates = agg / np.maximum(counts, 1.0)
+            levels = np.minimum(
+                (rates / peak * (len(blocks) - 1)).round().astype(int),
+                len(blocks) - 1,
+            )
+            spark = "".join(blocks[l] for l in np.maximum(levels, 0))
+        lines.append(f"  {name.ljust(label_w)} {spark}")
+    return "\n".join(lines)
+
+
+def series_csv(curves: list[tuple[str, ThroughputSeries]]) -> str:
+    """CSV dump of the curves (time_ns, one column per implementation).
+
+    All curves must share a bin layout (use a common ``end_time`` and
+    ``bins`` in :func:`normalized_series`).
+    """
+    if not curves:
+        return ""
+    times = curves[0][1].times
+    for name, series in curves[1:]:
+        if series.times.shape != times.shape:
+            raise ValueError(f"curve {name!r} has a different bin layout")
+    header = "time_ns," + ",".join(name for name, _ in curves)
+    rows = [header]
+    for i, t in enumerate(times):
+        cells = ",".join(f"{series.rates[i]:.6g}" for _, series in curves)
+        rows.append(f"{t:.0f},{cells}")
+    return "\n".join(rows)

@@ -1,0 +1,20 @@
+"""The paper's three case studies: BFS, PageRank, and graph coloring.
+
+Each application module provides:
+
+* an **Atos task kernel** implementing :class:`repro.core.TaskKernel` —
+  the relaxed-barrier formulation (speculative BFS, asynchronous PageRank,
+  asynchronous speculative coloring);
+* a **BSP implementation** — the Gunrock-style baseline (or, for coloring,
+  the paper's own BSP speculative-greedy implementation, since Gunrock's
+  independent-set coloring is not comparable);
+* a ``run_atos`` / ``run_bsp`` pair returning an :class:`AppResult` with
+  timing, workload and correctness artifacts;
+* validators that check the algorithm-level invariants (exact BFS depths,
+  PageRank fixed point, proper coloring).
+"""
+
+from repro.apps.common import AppResult
+from repro.apps import bfs, cc, coloring, delta_sssp, kcore, mis, pagerank, sssp
+
+__all__ = ["AppResult", "bfs", "pagerank", "coloring", "sssp", "cc", "delta_sssp", "kcore", "mis"]

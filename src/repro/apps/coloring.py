@@ -1,0 +1,302 @@
+"""Graph coloring: BSP vs. asynchronous speculative greedy coloring.
+
+Paper Section 5.3.  Both versions run the speculative greedy algorithm of
+Gebremedhin & Manne: assign each vertex the smallest color not used by its
+neighbors *as currently visible*, then detect conflicts (two adjacent
+vertices that picked the same color) and recolor.  The speculation is in
+the assignment: it may read outdated neighbor colors.
+
+* The **BSP** implementation (paper Algorithm 5) alternates an assignment
+  kernel and a conflict-detection kernel over a double-buffered frontier.
+  Within the assignment kernel, vertices in the same TWC sub-bucket read
+  one shared snapshot (they execute simultaneously); the three degree
+  sub-buckets serialize against each other — this models the paper's note
+  that Gunrock-style bucketed load balancing reduces intra-kernel
+  conflicts.
+* The **Atos** implementation (paper Algorithm 6) fuses both kernels into
+  an uberkernel: a queue item tagged positive means "assign a color", a
+  negative tag means "check for conflicts".  We encode ``+ (v+1)`` /
+  ``- (v+1)`` so vertex 0 is representable.
+
+Conflict tie-break: when adjacent vertices ``u < v`` share a color, ``v``
+recolors and ``u`` keeps its color.  (The paper's pseudocode re-adds every
+conflicting vertex; production implementations — including
+Gebremedhin-Manne — break the tie by vertex id, which guarantees
+termination.  The count of recolor operations is unaffected in the pair
+case.)
+
+Why the kernel strategies diverge so strongly here (Section 6.3): the
+conflict rate is set by how many *id-adjacent* vertices observe each
+other's stale colors.  Under the discrete strategy, a whole launch wave
+reads one snapshot in vertex-id order, so consecutive ids — likely
+neighbors on crawl-ordered datasets — collide en masse.  Under the
+persistent strategy the scheduler's read-instant serialization shrinks the
+stale window to the outstanding-load lead, so almost every assignment sees
+its neighbors' committed colors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.bsp.engine import BspTimeline
+from repro.bsp.loadbalance import twc_buckets
+from repro.core.config import AtosConfig
+from repro.core.kernel import CompletionResult
+from repro.core.scheduler import run as run_scheduler
+from repro.graph.csr import Csr
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = [
+    "UNCOLORED",
+    "AsyncColoringKernel",
+    "run_atos",
+    "run_bsp",
+    "validate_coloring",
+    "count_conflicts",
+]
+
+UNCOLORED = -1
+
+
+def _min_available_color(neighbor_colors: np.ndarray, degree: int) -> int:
+    """Smallest non-negative color absent from ``neighbor_colors``.
+
+    Greedy coloring never needs a color above ``degree``, so colors past
+    that bound cannot force a higher choice and are ignored.
+    """
+    valid = neighbor_colors[(neighbor_colors >= 0) & (neighbor_colors <= degree)]
+    if valid.size == 0:
+        return 0
+    present = np.zeros(degree + 2, dtype=bool)
+    present[valid] = True
+    return int(np.argmin(present))
+
+
+def count_conflicts(graph: Csr, colors: np.ndarray) -> int:
+    """Number of directed edges whose endpoints share a color."""
+    edges = graph.edge_array()
+    same = colors[edges[:, 0]] == colors[edges[:, 1]]
+    return int(same.sum())
+
+
+def validate_coloring(graph: Csr, colors: np.ndarray) -> bool:
+    """True when every vertex is colored and no edge is monochromatic."""
+    if np.any(colors < 0):
+        return False
+    return count_conflicts(graph, colors) == 0
+
+
+class AsyncColoringKernel:
+    """Atos uberkernel for speculative greedy coloring (Algorithm 6)."""
+
+    def __init__(self, graph: Csr) -> None:
+        self.graph = graph
+        self.colors = np.full(graph.num_vertices, UNCOLORED, dtype=np.int64)
+        #: color-assignment operations performed (Table 4 currency)
+        self.assignments = 0
+        self.conflict_checks = 0
+
+    # -- tag encoding ---------------------------------------------------
+    @staticmethod
+    def assign_tag(vertices: np.ndarray) -> np.ndarray:
+        return np.asarray(vertices, dtype=np.int64) + 1
+
+    @staticmethod
+    def check_tag(vertices: np.ndarray) -> np.ndarray:
+        return -(np.asarray(vertices, dtype=np.int64) + 1)
+
+    @staticmethod
+    def decode(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(assign_vertices, check_vertices)`` from a mixed item batch."""
+        assign = items[items > 0] - 1
+        check = -items[items < 0] - 1
+        return assign, check
+
+    # -- kernel protocol --------------------------------------------------
+    def initial_items(self) -> np.ndarray:
+        return self.assign_tag(np.arange(self.graph.num_vertices, dtype=np.int64))
+
+    def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
+        if items.size == 1:
+            v = abs(int(items[0])) - 1
+            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            return deg, deg
+        vs = np.abs(items) - 1
+        degrees = self.graph.indptr[vs + 1] - self.graph.indptr[vs]
+        return int(degrees.sum()), int(degrees.max()) if degrees.size else 0
+
+    def on_read(self, items: np.ndarray, t: float):
+        g = self.graph
+        assign_vs, check_vs = self.decode(items)
+        # assignment: pick min available color from currently visible
+        # neighbor colors; all items in this task share one snapshot
+        # (simultaneous lanes of one worker), so intra-task neighbors can
+        # pick clashing colors — the fetch-size overwork effect.
+        chosen = np.empty(assign_vs.size, dtype=np.int64)
+        for i, v in enumerate(assign_vs):
+            nbrs = g.neighbors(v)
+            chosen[i] = _min_available_color(self.colors[nbrs], nbrs.size)
+        # conflict check: vertex v must recolor when a *lower-id* neighbor
+        # currently holds v's color (deterministic tie-break)
+        conflicted = np.zeros(check_vs.size, dtype=bool)
+        for i, v in enumerate(check_vs):
+            nbrs = g.neighbors(v)
+            c = self.colors[v]
+            conflicted[i] = bool(np.any((self.colors[nbrs] == c) & (nbrs < v)))
+        return (assign_vs, chosen, check_vs, conflicted)
+
+    def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
+        assign_vs, chosen, check_vs, conflicted = payload
+        pushes = []
+        if assign_vs.size:
+            self.colors[assign_vs] = chosen
+            self.assignments += assign_vs.size
+            pushes.append(self.check_tag(assign_vs))
+        if check_vs.size:
+            self.conflict_checks += check_vs.size
+            bad = check_vs[conflicted]
+            if bad.size:
+                pushes.append(self.assign_tag(bad))
+        new_items = np.concatenate(pushes) if pushes else EMPTY_ITEMS
+        return CompletionResult(
+            new_items=new_items,
+            items_retired=int(items.size),
+            work_units=float(assign_vs.size),
+        )
+
+    def final_check(self, t: float) -> np.ndarray:
+        """Quiescence safety net: rescan for conflicts missed by stale
+        check tasks (a check that read before its neighbor's commit).  The
+        recolor passes it generates are counted like any other work."""
+        edges = self.graph.edge_array()
+        u, v = edges[:, 0], edges[:, 1]
+        bad = (self.colors[u] == self.colors[v]) & (u < v)
+        if not bad.any():
+            return EMPTY_ITEMS
+        # recolor the higher endpoint of each conflicting pair
+        return self.assign_tag(np.unique(v[bad]))
+
+
+def run_atos(
+    graph: Csr,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> AppResult:
+    """Asynchronous speculative coloring under an Atos configuration.
+
+    Register/shared-memory budgets follow the paper's Section 6.3 report:
+    72 registers for the persistent uberkernel vs. 42 for the discrete one,
+    and 46 KB of shared memory for CTA-sized workers.
+    """
+    regs = 72 if config.is_persistent else 42
+    smem = 46 * 1024 if config.is_cta_worker else 0
+    config = config.with_overrides(
+        registers_per_thread=regs, shared_mem_per_cta=smem
+    )
+    kernel = AsyncColoringKernel(graph)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    return AppResult(
+        app="coloring",
+        impl=config.name,
+        dataset=graph.name,
+        elapsed_ns=res.elapsed_ns,
+        work_units=float(kernel.assignments),
+        items_retired=res.items_retired,
+        iterations=res.generations,
+        kernel_launches=res.kernel_launches,
+        output=kernel.colors,
+        trace=res.trace,
+        extra={
+            "worker_slots": res.worker_slots,
+            "occupancy": res.occupancy_fraction,
+            "queue_contention_ns": res.queue_contention_ns,
+            "total_tasks": res.total_tasks,
+            "conflict_checks": kernel.conflict_checks,
+            "num_colors": int(kernel.colors.max()) + 1,
+            "mem_utilization": res.mem_utilization,
+        },
+    )
+
+
+def run_bsp(
+    graph: Csr,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_iterations: int = 10_000,
+) -> AppResult:
+    """BSP speculative greedy coloring (paper Algorithm 5).
+
+    Per outer iteration: an assignment kernel (TWC-bucketed; the three
+    degree sub-buckets serialize, vertices within a sub-bucket share a
+    snapshot) and a conflict-detection kernel, double-buffered frontiers,
+    global barrier after each kernel.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    frontier = np.arange(n, dtype=np.int64)
+    timeline = BspTimeline(spec=spec)
+    assignments = 0
+    items = 0
+    iterations = 0
+
+    while frontier.size:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError("BSP coloring failed to converge")
+        edge_count = graph.frontier_edges(frontier)
+        items += int(frontier.size)
+        assignments += int(frontier.size)
+        # kernel 1: assignment, sub-bucket by degree class (buckets
+        # serialize against each other), processed in simultaneous waves —
+        # items within a wave share one snapshot, successive waves see
+        # earlier writes (memory-system coherence across launch waves)
+        buckets = twc_buckets(graph, frontier)
+        wave = max(1, spec.bsp_wave_items)
+        for bucket in (buckets["thread"], buckets["warp"], buckets["cta"]):
+            for lo in range(0, bucket.size, wave):
+                chunk = bucket[lo : lo + wave]
+                snapshot = colors.copy()
+                chosen = np.empty(chunk.size, dtype=np.int64)
+                for i, v in enumerate(chunk):
+                    nbrs = graph.neighbors(v)
+                    chosen[i] = _min_available_color(snapshot[nbrs], nbrs.size)
+                colors[chunk] = chosen
+        timeline.kernel(
+            frontier_size=int(frontier.size),
+            edge_count=edge_count,
+            strategy="twc",
+            items_retired=int(frontier.size),
+            work_units=float(frontier.size),
+        )
+        timeline.barrier()
+        # kernel 2: conflict detection over the same frontier
+        conflicted = np.zeros(frontier.size, dtype=bool)
+        for i, v in enumerate(frontier):
+            nbrs = graph.neighbors(v)
+            conflicted[i] = bool(np.any((colors[nbrs] == colors[v]) & (nbrs < v)))
+        timeline.kernel(
+            frontier_size=int(frontier.size),
+            edge_count=edge_count,
+            strategy="twc",
+        )
+        timeline.barrier()
+        timeline.end_iteration()
+        frontier = frontier[conflicted]
+
+    return AppResult(
+        app="coloring",
+        impl="BSP",
+        dataset=graph.name,
+        elapsed_ns=timeline.now,
+        work_units=float(assignments),
+        items_retired=items,
+        iterations=iterations,
+        kernel_launches=timeline.kernel_launches,
+        output=colors,
+        trace=timeline.trace,
+        extra={"num_colors": int(colors.max()) + 1},
+    )

@@ -1,0 +1,54 @@
+"""Shared application plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sim.trace import ThroughputTrace
+
+__all__ = ["AppResult", "EMPTY_ITEMS"]
+
+EMPTY_ITEMS = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class AppResult:
+    """Uniform result record for one application run (BSP or Atos).
+
+    ``work_units`` is the application's Table 4 currency: edge traversals
+    for BFS and PageRank, color-assignment operations for graph coloring.
+    ``output`` holds the algorithm artifact (depth array, rank array, color
+    array) for validation.
+    """
+
+    app: str
+    impl: str  # "BSP", "persist-warp", ...
+    dataset: str
+    elapsed_ns: float
+    work_units: float
+    items_retired: int
+    iterations: int
+    kernel_launches: int
+    output: np.ndarray = field(repr=False)
+    trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated runtime in milliseconds (Table 1 unit)."""
+        return self.elapsed_ns / 1e6
+
+    def speedup_over(self, baseline: "AppResult") -> float:
+        """``baseline_time / self_time`` — the parenthesised Table 1 number."""
+        if self.elapsed_ns <= 0:
+            raise ValueError("cannot compute speedup of a zero-time run")
+        return baseline.elapsed_ns / self.elapsed_ns
+
+    def workload_ratio(self, baseline_work: float) -> float:
+        """``self_work / baseline_work`` — the Table 4 number."""
+        if baseline_work <= 0:
+            raise ValueError("baseline work must be positive")
+        return self.work_units / baseline_work

@@ -1,0 +1,221 @@
+"""k-core decomposition by iterative peeling (BSP and relaxed).
+
+A fifth Listing-1 application: compute each vertex's *core number* — the
+largest ``k`` such that the vertex belongs to a subgraph where every vertex
+has degree ≥ ``k``.  The standard parallel algorithm peels: repeatedly
+remove vertices of effective degree < ``k``, incrementing ``k`` when the
+peel converges.
+
+The BSP version peels one frontier per kernel.  The relaxed version keeps
+the peeling *within one k-level* asynchronous — removing a vertex
+decrements its neighbors' effective degrees at completion time and pushes
+any neighbor that falls below the threshold; the k-level increments happen
+at quiescence via the ``final_check`` hook, so the whole decomposition runs
+in a single persistent kernel.  Removal order within a level is a
+don't-care (like PageRank), so relaxation is safe — and tested against an
+exact reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.bsp.engine import BspTimeline
+from repro.core.config import AtosConfig
+from repro.core.kernel import CompletionResult
+from repro.core.scheduler import run as run_scheduler
+from repro.graph.csr import Csr
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = [
+    "AsyncKcoreKernel",
+    "run_atos",
+    "run_bsp",
+    "reference_core_numbers",
+    "validate_core_numbers",
+]
+
+
+class AsyncKcoreKernel:
+    """Single-persistent-kernel k-core peeling.
+
+    State: ``eff_degree`` (remaining degree), ``core`` (assigned core
+    number, -1 while alive), ``k`` (current peel level).  A queue item is a
+    vertex to peel at the current level.
+    """
+
+    def __init__(self, graph: Csr) -> None:
+        if not graph.is_symmetric():
+            raise ValueError("k-core requires a symmetric (undirected) graph")
+        self.graph = graph
+        self.eff_degree = graph.out_degrees().astype(np.int64)
+        self.core = np.full(graph.num_vertices, -1, dtype=np.int64)
+        self.k = 0
+        self.edges_touched = 0
+        self.in_queue = np.zeros(graph.num_vertices, dtype=bool)
+
+    def _below_threshold(self) -> np.ndarray:
+        alive = self.core < 0
+        return np.flatnonzero(alive & (self.eff_degree < self.k) & ~self.in_queue)
+
+    def initial_items(self) -> np.ndarray:
+        # k starts at 0: isolated vertices peel immediately
+        seeds = self._below_threshold()
+        self.in_queue[seeds] = True
+        return seeds.astype(np.int64)
+
+    def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
+        if items.size == 1:
+            v = int(items[0])
+            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            return deg, deg
+        degrees = self.graph.indptr[items + 1] - self.graph.indptr[items]
+        return int(degrees.sum()), int(degrees.max()) if degrees.size else 0
+
+    def on_read(self, items: np.ndarray, t: float):
+        # claim: mark peeled now (atomic CAS on core) so a vertex peels
+        # once; np.unique also collapses any duplicate queue entries, which
+        # would otherwise double-decrement neighbor degrees
+        fresh = np.unique(items[self.core[items] < 0])
+        self.core[fresh] = max(self.k - 1, 0)
+        return fresh
+
+    def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
+        fresh = payload
+        self.in_queue[items] = False
+        if fresh.size == 0:
+            return CompletionResult(items_retired=int(items.size))
+        _, nbrs = self.graph.gather_neighbors(fresh)
+        self.edges_touched += int(nbrs.size)
+        if nbrs.size:
+            np.subtract.at(self.eff_degree, nbrs, 1)
+        ready = self._below_threshold()
+        self.in_queue[ready] = True
+        return CompletionResult(
+            new_items=ready.astype(np.int64),
+            items_retired=int(items.size),
+            work_units=float(nbrs.size),
+        )
+
+    def final_check(self, t: float) -> np.ndarray:
+        """Quiescence: advance k until a peelable vertex appears or all
+        vertices are assigned."""
+        while (self.core < 0).any():
+            ready = self._below_threshold()
+            if ready.size:
+                self.in_queue[ready] = True
+                return ready.astype(np.int64)
+            self.k += 1
+        return EMPTY_ITEMS
+
+
+def run_atos(
+    graph: Csr,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> AppResult:
+    """Asynchronous k-core decomposition under an Atos configuration."""
+    kernel = AsyncKcoreKernel(graph)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    return AppResult(
+        app="kcore",
+        impl=config.name,
+        dataset=graph.name,
+        elapsed_ns=res.elapsed_ns,
+        work_units=float(kernel.edges_touched),
+        items_retired=res.items_retired,
+        iterations=res.generations,
+        kernel_launches=res.kernel_launches,
+        output=kernel.core,
+        trace=res.trace,
+        extra={"max_core": int(kernel.core.max()) if kernel.core.size else 0},
+    )
+
+
+def run_bsp(
+    graph: Csr,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_iterations: int | None = None,
+) -> AppResult:
+    """BSP peeling: one frontier of sub-threshold vertices per kernel."""
+    if not graph.is_symmetric():
+        raise ValueError("k-core requires a symmetric (undirected) graph")
+    n = graph.num_vertices
+    eff = graph.out_degrees().astype(np.int64)
+    core = np.full(n, -1, dtype=np.int64)
+    k = 0
+    timeline = BspTimeline(spec=spec)
+    edges_touched = 0
+    items = 0
+    iterations = 0
+    limit = max_iterations if max_iterations is not None else 10 * n + 100
+
+    while (core < 0).any():
+        iterations += 1
+        if iterations > limit:
+            raise RuntimeError("k-core peeling failed to converge")
+        frontier = np.flatnonzero((core < 0) & (eff < k))
+        if frontier.size == 0:
+            k += 1
+            continue
+        core[frontier] = max(k - 1, 0)
+        _, nbrs = graph.gather_neighbors(frontier)
+        edges_touched += int(nbrs.size)
+        items += int(frontier.size)
+        if nbrs.size:
+            np.subtract.at(eff, nbrs, 1)
+        timeline.kernel(
+            frontier_size=int(frontier.size),
+            edge_count=int(nbrs.size),
+            strategy="lbs",
+            items_retired=int(frontier.size),
+            work_units=float(nbrs.size),
+        )
+        timeline.barrier()
+        timeline.end_iteration()
+
+    return AppResult(
+        app="kcore",
+        impl="BSP",
+        dataset=graph.name,
+        elapsed_ns=timeline.now,
+        work_units=float(edges_touched),
+        items_retired=items,
+        iterations=iterations,
+        kernel_launches=timeline.kernel_launches,
+        output=core,
+        trace=timeline.trace,
+        extra={"max_core": int(core.max()) if core.size else 0},
+    )
+
+
+def reference_core_numbers(graph: Csr) -> np.ndarray:
+    """Exact core numbers by sequential min-degree peeling."""
+    if not graph.is_symmetric():
+        raise ValueError("k-core requires a symmetric (undirected) graph")
+    n = graph.num_vertices
+    eff = graph.out_degrees().astype(np.int64)
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    k = 0
+    for _ in range(n):
+        candidates = np.flatnonzero(alive)
+        if candidates.size == 0:
+            break
+        v = candidates[np.argmin(eff[candidates])]
+        k = max(k, int(eff[v]))
+        core[v] = k
+        alive[v] = False
+        nbrs = graph.neighbors(v)
+        live_nbrs = nbrs[alive[nbrs]]
+        np.subtract.at(eff, live_nbrs, 1)
+    return core
+
+
+def validate_core_numbers(graph: Csr, core: np.ndarray) -> bool:
+    """True when ``core`` equals the exact decomposition."""
+    return bool(np.array_equal(core, reference_core_numbers(graph)))

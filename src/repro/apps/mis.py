@@ -1,0 +1,220 @@
+"""Maximal independent set (lexicographically-first) — BSP and relaxed.
+
+A sixth Listing-1 application in the *speculative correction* family
+(like graph coloring): compute the lexicographically-first maximal
+independent set, defined by the sequential rule
+
+    v ∈ MIS  ⇔  no neighbor u < v has u ∈ MIS.
+
+The dependency structure is a DAG (only smaller ids influence a vertex),
+so chaotic re-evaluation converges to the unique fixed point: a vertex
+evaluates speculatively from its neighbors' *current* statuses, and when
+its own status flips it pushes its larger neighbors for re-evaluation —
+exactly the paper's "commit, then repair" speculation style (Section 3.1),
+with the repair expressed as re-enqueued work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.bsp.engine import BspTimeline
+from repro.core.config import AtosConfig
+from repro.core.kernel import CompletionResult
+from repro.core.scheduler import run as run_scheduler
+from repro.graph.csr import Csr
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = [
+    "AsyncMisKernel",
+    "run_atos",
+    "run_bsp",
+    "reference_mis",
+    "validate_mis",
+]
+
+OUT = 0
+IN = 1
+
+
+class AsyncMisKernel:
+    """Chaotic-iteration kernel for the lexicographic MIS."""
+
+    def __init__(self, graph: Csr) -> None:
+        self.graph = graph
+        self.status = np.zeros(graph.num_vertices, dtype=np.int8)
+        self.evaluations = 0
+        self.in_queue = np.ones(graph.num_vertices, dtype=bool)
+
+    def initial_items(self) -> np.ndarray:
+        return np.arange(self.graph.num_vertices, dtype=np.int64)
+
+    def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
+        if items.size == 1:
+            v = int(items[0])
+            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            return deg, deg
+        degrees = self.graph.indptr[items + 1] - self.graph.indptr[items]
+        return int(degrees.sum()), int(degrees.max()) if degrees.size else 0
+
+    def _evaluate(self, v: int) -> int:
+        nbrs = self.graph.neighbors(v)
+        smaller = nbrs[nbrs < v]
+        return OUT if (self.status[smaller] == IN).any() else IN
+
+    def on_read(self, items: np.ndarray, t: float):
+        self.in_queue[items] = False
+        decided = np.empty(items.size, dtype=np.int8)
+        for i, v in enumerate(items):
+            decided[i] = self._evaluate(int(v))
+        return decided
+
+    def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
+        decided = payload
+        self.evaluations += int(items.size)
+        changed = items[self.status[items] != decided]
+        self.status[items] = decided
+        if changed.size == 0:
+            return CompletionResult(items_retired=int(items.size), work_units=float(items.size))
+        # a flipped vertex invalidates its larger neighbors' decisions
+        pushes = []
+        for v in changed:
+            nbrs = self.graph.neighbors(int(v))
+            bigger = nbrs[nbrs > v]
+            fresh = bigger[~self.in_queue[bigger]]
+            if fresh.size:
+                self.in_queue[fresh] = True
+                pushes.append(fresh.astype(np.int64))
+        new_items = np.concatenate(pushes) if pushes else EMPTY_ITEMS
+        return CompletionResult(
+            new_items=new_items,
+            items_retired=int(items.size),
+            work_units=float(items.size),
+        )
+
+    def final_check(self, t: float) -> np.ndarray:
+        """Safety net: re-evaluate any vertex whose status is inconsistent."""
+        bad = [
+            v
+            for v in range(self.graph.num_vertices)
+            if self.status[v] != self._evaluate(v)
+        ]
+        if not bad:
+            return EMPTY_ITEMS
+        arr = np.asarray(bad, dtype=np.int64)
+        self.in_queue[arr] = True
+        return arr
+
+
+def run_atos(
+    graph: Csr,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> AppResult:
+    """Asynchronous lexicographic MIS under an Atos configuration."""
+    kernel = AsyncMisKernel(graph)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    return AppResult(
+        app="mis",
+        impl=config.name,
+        dataset=graph.name,
+        elapsed_ns=res.elapsed_ns,
+        work_units=float(kernel.evaluations),
+        items_retired=res.items_retired,
+        iterations=res.generations,
+        kernel_launches=res.kernel_launches,
+        output=kernel.status.astype(np.int64),
+        trace=res.trace,
+        extra={"mis_size": int(kernel.status.sum())},
+    )
+
+
+def run_bsp(
+    graph: Csr,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_iterations: int | None = None,
+) -> AppResult:
+    """BSP chaotic iteration: re-evaluate a frontier per kernel."""
+    n = graph.num_vertices
+    status = np.zeros(n, dtype=np.int8)
+    frontier = np.arange(n, dtype=np.int64)
+    timeline = BspTimeline(spec=spec)
+    evaluations = 0
+    iterations = 0
+    limit = max_iterations if max_iterations is not None else n + 2
+
+    while frontier.size:
+        iterations += 1
+        if iterations > limit:
+            raise RuntimeError("MIS iteration failed to converge")
+        snapshot = status.copy()
+        decided = np.empty(frontier.size, dtype=np.int8)
+        for i, v in enumerate(frontier):
+            nbrs = graph.neighbors(int(v))
+            smaller = nbrs[nbrs < v]
+            decided[i] = OUT if (snapshot[smaller] == IN).any() else IN
+        evaluations += int(frontier.size)
+        changed = frontier[status[frontier] != decided]
+        status[frontier] = decided
+        edge_count = graph.frontier_edges(frontier)
+        timeline.kernel(
+            frontier_size=int(frontier.size),
+            edge_count=edge_count,
+            strategy="lbs",
+            items_retired=int(frontier.size),
+            work_units=float(frontier.size),
+        )
+        timeline.barrier()
+        timeline.end_iteration()
+        if changed.size == 0:
+            break
+        nxt = []
+        for v in changed:
+            nbrs = graph.neighbors(int(v))
+            nxt.append(nbrs[nbrs > v])
+        frontier = np.unique(np.concatenate(nxt)) if nxt else EMPTY_ITEMS
+
+    return AppResult(
+        app="mis",
+        impl="BSP",
+        dataset=graph.name,
+        elapsed_ns=timeline.now,
+        work_units=float(evaluations),
+        items_retired=evaluations,
+        iterations=iterations,
+        kernel_launches=timeline.kernel_launches,
+        output=status.astype(np.int64),
+        trace=timeline.trace,
+        extra={"mis_size": int(status.sum())},
+    )
+
+
+def reference_mis(graph: Csr) -> np.ndarray:
+    """The lexicographically-first MIS by the sequential greedy rule."""
+    n = graph.num_vertices
+    status = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        smaller = nbrs[nbrs < v]
+        status[v] = IN if not (status[smaller] == IN).any() else OUT
+    return status
+
+
+def validate_mis(graph: Csr, status: np.ndarray) -> bool:
+    """Independent, maximal, and equal to the lexicographic fixed point."""
+    if not np.array_equal(status, reference_mis(graph)):
+        return False
+    edges = graph.edge_array()
+    mono = (status[edges[:, 0]] == IN) & (status[edges[:, 1]] == IN)
+    if mono.any():
+        return False  # not independent
+    for v in range(graph.num_vertices):
+        if status[v] == OUT:
+            nbrs = graph.neighbors(v)
+            if not (status[nbrs] == IN).any():
+                return False  # not maximal
+    return True

@@ -1,0 +1,75 @@
+"""Data-parallel load-balancing primitives.
+
+Two techniques from Section 3.3 of the paper:
+
+* **load-balancing search** (Davidson/Baxter/Merrill) — prefix-sum the
+  frontier's degrees, flatten the nested loop into one edge array, and
+  split it into equal-size chunks.  :func:`flatten_frontier` +
+  :func:`balanced_chunks` implement the data movement; the cost model
+  charges for it separately.
+* **TWC bucketing** (Merrill's thread-warp-CTA mapping) — partition
+  frontier vertices by degree class so each class can be processed with an
+  appropriately-sized worker.  :func:`twc_buckets` implements the
+  partition; the BSP coloring baseline also uses it as its sub-bucket
+  serialization structure (Section 6.3 notes this reduces intra-kernel
+  conflicts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Csr
+
+__all__ = ["flatten_frontier", "balanced_chunks", "twc_buckets"]
+
+
+def flatten_frontier(graph: Csr, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Load-balancing search: flatten a frontier's neighbor lists.
+
+    Returns ``(sources, destinations)`` aligned edge-wise — every edge of
+    the frontier exactly once, regardless of how skewed the degrees are.
+    """
+    return graph.gather_neighbors(np.asarray(frontier, dtype=np.int64))
+
+
+def balanced_chunks(total_edges: int, num_workers: int) -> np.ndarray:
+    """Split ``total_edges`` flattened edges into near-equal chunks.
+
+    Returns an ``(num_workers + 1,)`` offsets array; chunk ``i`` covers
+    ``[offsets[i], offsets[i+1])``.  Chunk sizes differ by at most one —
+    the defining property of the load-balancing search.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if total_edges < 0:
+        raise ValueError("total_edges must be non-negative")
+    base, rem = divmod(total_edges, num_workers)
+    sizes = np.full(num_workers, base, dtype=np.int64)
+    sizes[:rem] += 1
+    return np.concatenate(([0], np.cumsum(sizes)))
+
+
+def twc_buckets(
+    graph: Csr,
+    frontier: np.ndarray,
+    *,
+    warp_threshold: int = 32,
+    cta_threshold: int = 256,
+) -> dict[str, np.ndarray]:
+    """Partition frontier vertices into thread/warp/CTA degree classes.
+
+    ``thread``: degree < ``warp_threshold`` — one thread each;
+    ``warp``: degree in [warp_threshold, cta_threshold) — one warp each;
+    ``cta``: degree >= ``cta_threshold`` — one CTA each.
+    Relative order within each bucket is preserved (stable partition).
+    """
+    if warp_threshold <= 0 or cta_threshold <= warp_threshold:
+        raise ValueError("thresholds must satisfy 0 < warp_threshold < cta_threshold")
+    f = np.asarray(frontier, dtype=np.int64)
+    deg = graph.indptr[f + 1] - graph.indptr[f]
+    return {
+        "thread": f[deg < warp_threshold],
+        "warp": f[(deg >= warp_threshold) & (deg < cta_threshold)],
+        "cta": f[deg >= cta_threshold],
+    }

@@ -1,0 +1,171 @@
+"""Atos scheduler configuration (the Section 3 design space).
+
+The paper's evaluation uses three named implementation variants plus one
+extra for the coloring study (Section 6.1):
+
+* ``persist-warp``  — persistent kernel, warp-sized workers, fetch size 1,
+  task-parallel load balancing only;
+* ``persist-CTA``   — persistent kernel, CTA-sized workers, load-balancing
+  search inside the worker;
+* ``discrete-CTA``  — discrete kernels, CTA-sized workers, internal LB;
+* ``discrete-warp`` — discrete kernels, warp-sized workers (coloring only).
+
+Register/shared-memory budgets default to the figures the paper reports for
+graph coloring (72 regs persistent / 42 discrete, Section 6.3) scaled to a
+generic application; individual apps override them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "KernelStrategy",
+    "AtosConfig",
+    "PERSIST_WARP",
+    "PERSIST_CTA",
+    "DISCRETE_CTA",
+    "DISCRETE_WARP",
+    "variant_by_name",
+    "VARIANTS",
+]
+
+
+class KernelStrategy(enum.Enum):
+    """Section 3.4: one launch forever vs. one launch per generation."""
+
+    PERSISTENT = "persistent"
+    DISCRETE = "discrete"
+
+
+@dataclass(frozen=True)
+class AtosConfig:
+    """One point in the Atos design space."""
+
+    strategy: KernelStrategy = KernelStrategy.PERSISTENT
+    #: threads per worker: 1 = thread worker, 32 = warp worker, larger
+    #: multiples of 32 = CTA worker.
+    worker_threads: int = 32
+    #: work items popped per task (FETCH_SIZE in the paper's Listing 3)
+    fetch_size: int = 1
+    #: run the load-balancing search across fetched items inside the worker
+    #: (only meaningful for CTA workers)
+    internal_lb: bool = False
+    #: threads per CTA used for occupancy (warp workers are packed into
+    #: CTAs of this size; CTA workers use worker_threads)
+    cta_threads: int = 256
+    #: register pressure; persistent kernels need extra registers for the
+    #: queue loop (Section 3.4)
+    registers_per_thread: int = 48
+    shared_mem_per_cta: int = 0
+    #: physical queue count behind the shared work list
+    num_queues: int = 1
+    #: work-list organisation: "shared" (the paper's single shared queue,
+    #: scattered over num_queues counters) or "stealing" (per-group deques
+    #: with steal-on-empty — the distributed alternative of reference [7])
+    worklist: str = "shared"
+    #: queue capacity in items (device buffer size in the real framework)
+    queue_capacity: int = 1 << 62
+    name: str = "atos"
+
+    def __post_init__(self) -> None:
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.worker_threads > 32 and self.worker_threads % 32:
+            raise ValueError("CTA workers must be a multiple of 32 threads")
+        if self.fetch_size < 1:
+            raise ValueError("fetch_size must be >= 1")
+        if self.internal_lb and self.worker_threads < 32:
+            raise ValueError("internal load balancing requires >= warp-sized workers")
+        if self.num_queues < 1:
+            raise ValueError("num_queues must be >= 1")
+        if self.worklist not in ("shared", "stealing"):
+            raise ValueError('worklist must be "shared" or "stealing"')
+
+    # ------------------------------------------------------------------
+    @property
+    def is_persistent(self) -> bool:
+        return self.strategy is KernelStrategy.PERSISTENT
+
+    @property
+    def is_cta_worker(self) -> bool:
+        return self.worker_threads > 32
+
+    @property
+    def is_warp_worker(self) -> bool:
+        return self.worker_threads == 32
+
+    @property
+    def is_thread_worker(self) -> bool:
+        return self.worker_threads == 1
+
+    @property
+    def occupancy_cta_threads(self) -> int:
+        """CTA size used for the occupancy calculation."""
+        return self.worker_threads if self.is_cta_worker else self.cta_threads
+
+    def with_overrides(self, **overrides) -> "AtosConfig":
+        """A copy with some fields changed (sweeps, app-specific budgets)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``persist-256-128``."""
+        kind = "persist" if self.is_persistent else "discrete"
+        if self.is_warp_worker and self.fetch_size == 1:
+            return f"{kind}-warp"
+        return f"{kind}-{self.worker_threads}-{self.fetch_size}"
+
+
+# Named variants from Section 6.1.  Fetch/worker sizes follow the paper's
+# Figure 4 sweet spots (CTA workers of 256 threads, fetch 128).
+PERSIST_WARP = AtosConfig(
+    strategy=KernelStrategy.PERSISTENT,
+    worker_threads=32,
+    fetch_size=1,
+    internal_lb=False,
+    registers_per_thread=56,
+    name="persist-warp",
+)
+
+PERSIST_CTA = AtosConfig(
+    strategy=KernelStrategy.PERSISTENT,
+    worker_threads=256,
+    fetch_size=64,
+    internal_lb=True,
+    registers_per_thread=56,
+    name="persist-CTA",
+)
+
+DISCRETE_CTA = AtosConfig(
+    strategy=KernelStrategy.DISCRETE,
+    worker_threads=256,
+    fetch_size=64,
+    internal_lb=True,
+    registers_per_thread=40,
+    name="discrete-CTA",
+)
+
+DISCRETE_WARP = AtosConfig(
+    strategy=KernelStrategy.DISCRETE,
+    worker_threads=32,
+    fetch_size=1,
+    internal_lb=False,
+    registers_per_thread=40,
+    name="discrete-warp",
+)
+
+VARIANTS: dict[str, AtosConfig] = {
+    "persist-warp": PERSIST_WARP,
+    "persist-CTA": PERSIST_CTA,
+    "discrete-CTA": DISCRETE_CTA,
+    "discrete-warp": DISCRETE_WARP,
+}
+
+
+def variant_by_name(name: str) -> AtosConfig:
+    """Look up one of the paper's named variants (case-insensitive)."""
+    for key, cfg in VARIANTS.items():
+        if key.lower() == name.lower():
+            return cfg
+    raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}")

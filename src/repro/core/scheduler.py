@@ -1,0 +1,384 @@
+"""The Atos runtime: persistent and discrete task scheduling.
+
+This is the simulation analogue of the paper's Listing 2::
+
+    for each worker:
+        while not queue.empty():
+            task = queue.concurrent_pop(task.size())
+            new_tasks = f(task)
+            queue.concurrent_push(new_tasks)
+
+Workers are occupancy-derived slots.  A free worker pops up to
+``fetch_size`` items (serializing on the queue atomic), the cost model
+assigns a duration (latency term vs. shared-bandwidth term), the
+application's ``on_read`` observes shared state at the task's *read
+instant*, and at completion ``on_complete`` applies writes and pushes
+follow-on work.
+
+Read-instant semantics (the Section 6.3 mechanism):
+
+* **persistent** — a task's reads are serviced ``read_lead_ns`` before its
+  completion.  Because completions serialize on the shared memory server,
+  consecutive pops observe each other's writes unless their service slots
+  are within the read-lead window — pop order is largely *decoupled* from
+  visibility order, like warps under a hardware scheduler.
+* **discrete** — every task reads at its pop instant, and the launch wave
+  pops en masse at generation start, so an entire wave shares one stale
+  snapshot — like CTAs of a CPU-launched kernel consuming a frontier array
+  in launch order.
+
+The persistent strategy pays one kernel launch and runs to quiescence; the
+discrete strategy snapshots the queue into generations with launch+barrier
+around each, preserving queue order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import AtosConfig
+from repro.core.kernel import TaskKernel
+from repro.queueing.broker import QueueBroker
+from repro.queueing.stealing import StealingWorklist
+from repro.sim.cost import task_cost
+from repro.sim.engine import EventLoop
+from repro.sim.memory import BandwidthServer
+from repro.sim.occupancy import occupancy_for
+from repro.sim.spec import V100_SPEC, GpuSpec
+from repro.sim.trace import ThroughputTrace
+
+__all__ = ["RunResult", "run", "run_persistent", "run_discrete", "SchedulerError"]
+
+_READ = 0
+_DONE = 1
+
+
+class SchedulerError(RuntimeError):
+    """Raised when a run exceeds its task budget (diverging application)."""
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulated kernel execution."""
+
+    elapsed_ns: float
+    total_tasks: int
+    items_retired: int
+    work_units: float
+    kernel_launches: int
+    generations: int
+    worker_slots: int
+    occupancy_fraction: float
+    queue_contention_ns: float
+    empty_pops: int
+    mem_utilization: float
+    trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
+    config_name: str = ""
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated runtime in milliseconds (the paper's Table 1 unit)."""
+        return self.elapsed_ns / 1e6
+
+
+def _worker_slots(spec: GpuSpec, config: AtosConfig) -> tuple[int, float]:
+    """Resident worker count and occupancy fraction for a configuration."""
+    occ = occupancy_for(
+        spec,
+        threads_per_cta=config.occupancy_cta_threads,
+        registers_per_thread=config.registers_per_thread,
+        shared_mem_per_cta=config.shared_mem_per_cta,
+    )
+    if config.is_cta_worker:
+        return occ.total_ctas, occ.occupancy_fraction
+    if config.is_warp_worker:
+        return occ.total_warps, occ.occupancy_fraction
+    return occ.threads_per_sm * spec.num_sms, occ.occupancy_fraction
+
+
+def _jitter(worker: int, seq: int, amplitude: float) -> float:
+    """Deterministic pseudo-random stagger for persistent-kernel pops."""
+    if amplitude <= 0.0:
+        return 0.0
+    h = (worker * 2654435761 + seq * 40503 + 12345) & 0xFFFF
+    return (h / 65536.0) * amplitude
+
+
+def run(
+    kernel: TaskKernel,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> RunResult:
+    """Execute ``kernel`` under ``config`` (dispatches on kernel strategy)."""
+    if config.is_persistent:
+        return run_persistent(kernel, config, spec=spec, max_tasks=max_tasks)
+    return run_discrete(kernel, config, spec=spec, max_tasks=max_tasks)
+
+
+class _Engine:
+    """Shared machinery of the persistent and discrete strategies."""
+
+    def __init__(
+        self,
+        kernel: TaskKernel,
+        config: AtosConfig,
+        spec: GpuSpec,
+        max_tasks: int,
+        *,
+        persistent: bool,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.spec = spec
+        self.max_tasks = max_tasks
+        self.persistent = persistent
+        self.mem = BandwidthServer(spec.mem_edges_per_ns)
+        self.loop = EventLoop()
+        self.trace = ThroughputTrace()
+        self.slots, self.occupancy = _worker_slots(spec, config)
+        self.idle: list[int] = []
+        self.in_flight = 0
+        self.total_tasks = 0
+        self.items_retired = 0
+        self.work_units = 0.0
+        self.pop_seq = 0
+        self.queue: QueueBroker | None = None  # set per run/generation
+        self.pending_pushes: list[np.ndarray] = []  # discrete: next generation
+
+    # ------------------------------------------------------------------
+    def new_queue(self, name: str):
+        if self.config.worklist == "stealing":
+            self.queue = StealingWorklist(
+                max(2, self.config.num_queues),
+                capacity=self.config.queue_capacity,
+                atomic_ns=self.spec.atomic_queue_ns,
+                name=name,
+            )
+        else:
+            self.queue = QueueBroker(
+                self.config.num_queues,
+                capacity=self.config.queue_capacity,
+                atomic_ns=self.spec.atomic_queue_ns,
+                name=name,
+            )
+        return self.queue
+
+    def try_pop(self, worker: int, t: float) -> bool:
+        """Attempt a pop; on success schedules the task's READ event."""
+        items, t_acq = self.queue.pop(self.config.fetch_size, t, home=worker)
+        if items.size == 0:
+            self.idle.append(worker)
+            return False
+        self.pop_seq += 1
+        self.total_tasks += 1
+        if self.total_tasks > self.max_tasks:
+            raise SchedulerError(
+                f"run exceeded max_tasks={self.max_tasks}; "
+                "the application appears not to converge"
+            )
+        edge_work, max_degree = self.kernel.work_estimate(items)
+        # deterministic per-task latency jitter (cache misses, scheduling
+        # noise); reuses the pop-stagger hash on a different stream
+        u = _jitter(worker, self.pop_seq + 7919, 1.0)
+        cost = task_cost(
+            self.spec,
+            self.mem,
+            start=t_acq,
+            worker_threads=self.config.worker_threads,
+            num_items=int(items.size),
+            edge_counts_sum=edge_work,
+            max_degree=max_degree,
+            use_internal_lb=self.config.internal_lb,
+            latency_scale=1.0 + self.spec.duration_jitter * u,
+        )
+        lead = (
+            self.spec.read_lead_ns
+            if self.persistent
+            else self.spec.discrete_read_lead_ns
+        )
+        t_read = max(t_acq, cost.finish_time - lead)
+        self.loop.schedule(t_read, (_READ, worker, items, cost.finish_time))
+        self.in_flight += 1
+        return True
+
+    def wake_idle(self, t: float) -> None:
+        """Hand queued work to parked workers."""
+        jitter_amp = self.spec.persistent_jitter_ns if self.persistent else 0.0
+        while self.idle and self.queue.size > 0:
+            worker = self.idle.pop()
+            if not self.try_pop(worker, t + _jitter(worker, self.pop_seq, jitter_amp)):
+                break
+
+    def seed_workers(self, t: float) -> None:
+        """Initial wave: give every worker that can be fed a first pop."""
+        jitter_amp = self.spec.persistent_jitter_ns if self.persistent else 0.0
+        needed = min(self.slots, max(1, -(-self.queue.size // self.config.fetch_size)))
+        for w in range(self.slots):
+            if w < needed:
+                self.try_pop(w, t + _jitter(w, 0, jitter_amp))
+            else:
+                self.idle.append(w)
+
+    def drain_events(self, *, push_to_queue: bool) -> float:
+        """Process READ/DONE events until the loop empties.
+
+        ``push_to_queue=False`` (discrete) collects pushes for the next
+        generation instead of making them immediately poppable.
+        """
+        end = self.loop.now
+        while self.loop:
+            t, ev = self.loop.pop()
+            if ev[0] == _READ:
+                _, worker, items, finish = ev
+                payload = self.kernel.on_read(items, t)
+                self.loop.schedule(finish, (_DONE, worker, items, payload))
+                continue
+            _, worker, items, payload = ev
+            self.in_flight -= 1
+            result = self.kernel.on_complete(items, payload, t)
+            end = max(end, t)
+            self.items_retired += result.items_retired
+            self.work_units += result.work_units
+            self.trace.record(t, result.items_retired, result.work_units)
+            if result.new_items.size:
+                if push_to_queue:
+                    self.queue.push(result.new_items, t, home=worker)
+                else:
+                    self.pending_pushes.append(result.new_items)
+            jit = _jitter(worker, self.pop_seq, self.spec.persistent_jitter_ns) if self.persistent else 0.0
+            self.try_pop(worker, t + jit)
+            self.wake_idle(t)
+        assert self.in_flight == 0, "event loop drained with tasks in flight"
+        return end
+
+
+# ---------------------------------------------------------------------------
+# Persistent strategy
+# ---------------------------------------------------------------------------
+
+def run_persistent(
+    kernel: TaskKernel,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> RunResult:
+    """Single launch; workers loop on the shared queue until quiescence."""
+    eng = _Engine(kernel, config, spec, max_tasks, persistent=True)
+    queue = eng.new_queue(f"{config.name}-wl")
+    queue.push(kernel.initial_items(), 0.0, home=0)
+
+    t0 = spec.kernel_launch_ns
+    eng.seed_workers(t0)
+    end = t0
+    while True:
+        end = max(end, eng.drain_events(push_to_queue=True))
+        extra = kernel.final_check(end)
+        if extra.size == 0:
+            break
+        queue.push(extra, end, home=0)
+        eng.wake_idle(end)
+        if not eng.loop:
+            break
+
+    backing = queue.queues if hasattr(queue, "queues") else queue.deques
+    empty_pops = sum(q.stats.empty_pops for q in backing)
+    return RunResult(
+        elapsed_ns=end,
+        total_tasks=eng.total_tasks,
+        items_retired=eng.items_retired,
+        work_units=eng.work_units,
+        kernel_launches=1,
+        generations=1,
+        worker_slots=eng.slots,
+        occupancy_fraction=eng.occupancy,
+        queue_contention_ns=queue.total_contention_wait(),
+        empty_pops=empty_pops,
+        mem_utilization=eng.mem.utilization(end),
+        trace=eng.trace,
+        config_name=config.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Discrete strategy
+# ---------------------------------------------------------------------------
+
+def run_discrete(
+    kernel: TaskKernel,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+) -> RunResult:
+    """One kernel per queue generation, global barrier in between.
+
+    Within a generation, tasks issue to workers in strict queue order with
+    no scheduler jitter — CPU-launched kernels run in launch order
+    (Section 6.3) — and pushes go to the *next* generation's queue.
+    """
+    eng = _Engine(kernel, config, spec, max_tasks, persistent=False)
+    t = 0.0
+    launches = 0
+    generations = 0
+    contention = 0.0
+    current = kernel.initial_items()
+
+    while True:
+        if current.size == 0:
+            extra = kernel.final_check(t)
+            if extra.size == 0:
+                break
+            current = extra
+        generations += 1
+        launches += 1
+        t += spec.kernel_launch_ns
+        queue = eng.new_queue(f"{config.name}-gen{generations}")
+        queue.push(current, t, home=0)
+        # a fresh event clock per generation would break the shared
+        # bandwidth server, so the loop keeps global time; workers all
+        # start at the generation launch instant
+        eng.idle = []
+        for w in range(eng.slots):
+            eng.idle.append(w)
+        # issue strictly in order: lowest worker ids pop first, same time
+        eng.idle.reverse()  # wake_idle pops from the end
+        eng.wake_idle(t)
+        gen_end = eng.drain_events(push_to_queue=False)
+        contention += queue.total_contention_wait()
+        t = max(t, gen_end) + spec.barrier_ns
+        current = (
+            np.concatenate(eng.pending_pushes)
+            if eng.pending_pushes
+            else np.empty(0, dtype=np.int64)
+        )
+        eng.pending_pushes = []
+        # Workers whose pops fail at the end of a generation run the
+        # application's f2 function (paper Listing 3) — for PageRank that is
+        # the residual check scan.  Kernels express it via the optional
+        # ``generation_check`` hook.
+        gen_hook = getattr(kernel, "generation_check", None)
+        if gen_hook is not None:
+            extra = gen_hook(t)
+            if extra.size:
+                current = np.concatenate([current, extra])
+
+    return RunResult(
+        elapsed_ns=t,
+        total_tasks=eng.total_tasks,
+        items_retired=eng.items_retired,
+        work_units=eng.work_units,
+        kernel_launches=launches,
+        generations=generations,
+        worker_slots=eng.slots,
+        occupancy_fraction=eng.occupancy,
+        queue_contention_ns=contention,
+        empty_pops=0,
+        mem_utilization=eng.mem.utilization(t) if t > 0 else 0.0,
+        trace=eng.trace,
+        config_name=config.name,
+    )

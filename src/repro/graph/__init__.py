@@ -1,0 +1,61 @@
+"""Graph substrate: CSR storage, generators, datasets, metrics, and I/O.
+
+This subpackage is the data layer every other part of the reproduction sits
+on.  The paper's algorithms (BFS, PageRank, graph coloring) all walk a
+compressed-sparse-row adjacency structure; :class:`~repro.graph.csr.Csr` is
+the single canonical representation used by the BSP baseline, the Atos
+scheduler, the analysis code, and the benchmark harness.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Csr, from_edges
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetInfo,
+    hollywood_sim,
+    indochina_sim,
+    load_dataset,
+    road_usa_sim,
+    roadnet_ca_sim,
+    soc_livejournal_sim,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid_mesh,
+    path_graph,
+    rmat,
+    road_network,
+    star_graph,
+)
+from repro.graph.metrics import GraphStats, compute_stats, pseudo_diameter
+from repro.graph.permute import crawl_order_relabel, permute_vertices, random_permutation
+
+__all__ = [
+    "Csr",
+    "from_edges",
+    "GraphBuilder",
+    "DATASETS",
+    "DatasetInfo",
+    "load_dataset",
+    "soc_livejournal_sim",
+    "hollywood_sim",
+    "indochina_sim",
+    "road_usa_sim",
+    "roadnet_ca_sim",
+    "rmat",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid_mesh",
+    "road_network",
+    "star_graph",
+    "path_graph",
+    "complete_graph",
+    "GraphStats",
+    "compute_stats",
+    "pseudo_diameter",
+    "permute_vertices",
+    "random_permutation",
+    "crawl_order_relabel",
+]

@@ -1,0 +1,321 @@
+"""Synthetic graph generators.
+
+The paper evaluates on three scale-free graphs (soc-LiveJournal1,
+hollywood-2009, indochina-2004) and two mesh-like road networks (road_usa,
+roadNet-CA).  We cannot ship those datasets, so :mod:`repro.graph.datasets`
+builds scaled-down stand-ins from the generators in this module.  The
+analysis in the paper keys on exactly two structural properties:
+
+* **degree variance** — scale-free graphs have heavy-tailed degree
+  distributions (load imbalance, Section 6.2);
+* **diameter vs. average degree** — road networks have huge diameters and
+  degree ≈ 2-3 (small-frontier problem, Section 6.2).
+
+``rmat`` and ``barabasi_albert`` produce the former, ``grid_mesh`` and
+``road_network`` the latter.  All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Csr, from_edges
+
+__all__ = [
+    "rmat",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid_mesh",
+    "road_network",
+    "star_graph",
+    "path_graph",
+    "complete_graph",
+    "bipartite_graph",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | np.random.Generator | None = 0,
+    symmetric: bool = True,
+    name: str = "rmat",
+) -> Csr:
+    """Recursive-MATrix (R-MAT / Graph500-style) scale-free generator.
+
+    Produces ``2**scale`` vertices and about ``edge_factor * 2**scale``
+    directed edges before dedup.  With the default Graph500 parameters the
+    degree distribution is heavy-tailed: a handful of vertices collect a
+    large fraction of the edges, which is precisely the load-imbalance
+    driver the paper analyses on soc-LiveJournal-class graphs.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count.
+    edge_factor:
+        average directed degree before deduplication.
+    a, b, c:
+        R-MAT quadrant probabilities; the fourth is ``1 - a - b - c``.
+    symmetric:
+        also insert every reverse edge (the paper's traversals treat the
+        graphs as effectively traversable in CSR direction; symmetric keeps
+        BFS reachability high).
+    """
+    if scale < 0:
+        raise ValueError("scale must be >= 0")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Vectorised R-MAT: each bit of the vertex id is drawn independently.
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        src = src * 2 + go_down
+        dst = dst * 2 + go_right
+    edges = np.stack([src, dst], axis=1)
+    if symmetric:
+        edges = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    keep = edges[:, 0] != edges[:, 1]
+    return from_edges(n, edges[keep], name=name, dedup=True)
+
+
+def barabasi_albert(
+    num_vertices: int,
+    attach: int = 4,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "ba",
+) -> Csr:
+    """Barabási–Albert preferential attachment (symmetric).
+
+    Every new vertex attaches to ``attach`` existing vertices chosen with
+    probability proportional to their degree, yielding a power-law degree
+    tail.  Used for the hollywood-2009 stand-in, which needs a *denser*
+    scale-free graph (avg degree ≈ 105 in the paper) than R-MAT comfortably
+    produces at small scale.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least 2 vertices")
+    attach = min(attach, num_vertices - 1)
+    rng = _rng(seed)
+    # Repeated-endpoint list trick: sampling uniformly from the flat edge
+    # endpoint list implements degree-proportional sampling.
+    targets: list[int] = list(range(attach))
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    endpoint_pool = np.empty(2 * attach * num_vertices, dtype=np.int64)
+    pool_size = 0
+    for i in range(attach):
+        endpoint_pool[pool_size] = i
+        pool_size += 1
+    for v in range(attach, num_vertices):
+        chosen = np.unique(
+            endpoint_pool[rng.integers(0, pool_size, size=attach * 2)]
+        )[:attach]
+        if chosen.size < attach:
+            extra = rng.choice(v, size=attach, replace=False)
+            chosen = np.unique(np.concatenate([chosen, extra]))[:attach]
+        for t in chosen:
+            src_list.append(v)
+            dst_list.append(int(t))
+            endpoint_pool[pool_size] = v
+            endpoint_pool[pool_size + 1] = int(t)
+            pool_size += 2
+    del targets
+    edges = np.stack(
+        [np.asarray(src_list, dtype=np.int64), np.asarray(dst_list, dtype=np.int64)],
+        axis=1,
+    )
+    edges = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    return from_edges(num_vertices, edges, name=name, dedup=True)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    avg_degree: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    symmetric: bool = True,
+    name: str = "er",
+) -> Csr:
+    """Uniform random graph with the given expected average out-degree."""
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    rng = _rng(seed)
+    m = int(round(avg_degree * num_vertices))
+    src = rng.integers(0, num_vertices, size=m)
+    dst = rng.integers(0, num_vertices, size=m)
+    edges = np.stack([src, dst], axis=1)
+    if symmetric:
+        edges = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    keep = edges[:, 0] != edges[:, 1]
+    return from_edges(num_vertices, edges[keep], name=name, dedup=True)
+
+
+def grid_mesh(
+    rows: int,
+    cols: int,
+    *,
+    diagonal: bool = False,
+    name: str = "grid",
+) -> Csr:
+    """2-D lattice: each cell connects to its 4 (or 8) neighbors.
+
+    Diameter is ``rows + cols - 2`` (Manhattan), degree ≤ 4 (or 8) — the
+    canonical mesh-like structure behind road networks.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64)
+    r, c = idx // cols, idx % cols
+    pieces = []
+    offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    if diagonal:
+        offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+    for dr, dc in offsets:
+        nr, nc = r + dr, c + dc
+        ok = (nr >= 0) & (nr < rows) & (nc >= 0) & (nc < cols)
+        pieces.append(np.stack([idx[ok], nr[ok] * cols + nc[ok]], axis=1))
+    edges = np.concatenate(pieces, axis=0)
+    return from_edges(n, edges, name=name, dedup=True)
+
+
+def road_network(
+    rows: int,
+    cols: int,
+    *,
+    removal_fraction: float = 0.08,
+    shortcut_fraction: float = 0.005,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "road",
+) -> Csr:
+    """Road-network-like mesh: a lattice with holes and a few shortcuts.
+
+    Real road networks (road_usa, roadNet-CA) are near-planar with degree
+    almost always 2-4 and enormous diameter.  We start from a grid, knock
+    out a fraction of edges (dead ends, irregular blocks), and add a small
+    number of *geometrically local* shortcuts (diagonal connectors, short
+    highway segments — never long-range links, which would collapse the
+    diameter).  The result keeps max degree tiny and diameter
+    ``O(rows + cols)``, matching the two structural axes the paper's
+    analysis uses.  Connectivity is restored by stitching any disconnected
+    component back to the giant component.
+    """
+    rng = _rng(seed)
+    base = grid_mesh(rows, cols)
+    edges = base.edge_array()
+    # Work on the undirected canonical form so removal stays symmetric.
+    und = edges[edges[:, 0] < edges[:, 1]]
+    keep_mask = rng.random(und.shape[0]) >= removal_fraction
+    und = und[keep_mask]
+    n = rows * cols
+    n_short = int(shortcut_fraction * n)
+    if n_short:
+        # Shortcut endpoints stay within a small grid window of each other.
+        a = rng.integers(0, n, size=n_short)
+        dr = rng.integers(-4, 5, size=n_short)
+        dc = rng.integers(-4, 5, size=n_short)
+        br = a // cols + dr
+        bc = a % cols + dc
+        ok = (br >= 0) & (br < rows) & (bc >= 0) & (bc < cols)
+        b = br * cols + bc
+        ok &= a != b
+        und = np.concatenate([und, np.stack([a[ok], b[ok]], axis=1)], axis=0)
+    both = np.concatenate([und, und[:, ::-1]], axis=0)
+    g = from_edges(n, both, name=name, dedup=True)
+    return _connect_components(g, rng)
+
+
+def _connect_components(g: Csr, rng: np.random.Generator) -> Csr:
+    """Stitch all connected components to component 0 with single edges."""
+    comp = np.full(g.num_vertices, -1, dtype=np.int64)
+    label = 0
+    representatives = []
+    for v in range(g.num_vertices):
+        if comp[v] >= 0:
+            continue
+        representatives.append(v)
+        stack = [v]
+        comp[v] = label
+        while stack:
+            u = stack.pop()
+            for w in g.neighbors(u):
+                if comp[w] < 0:
+                    comp[w] = label
+                    stack.append(int(w))
+        label += 1
+    if label == 1:
+        return g
+    extra = []
+    anchor = representatives[0]
+    for rep in representatives[1:]:
+        extra.append((anchor, rep))
+        extra.append((rep, anchor))
+    edges = np.concatenate([g.edge_array(), np.asarray(extra, dtype=np.int64)], axis=0)
+    return from_edges(g.num_vertices, edges, name=g.name, dedup=True)
+
+
+def star_graph(num_vertices: int, *, name: str = "star") -> Csr:
+    """Vertex 0 connected to everything else (extreme degree skew)."""
+    if num_vertices < 1:
+        raise ValueError("need at least 1 vertex")
+    spokes = np.arange(1, num_vertices, dtype=np.int64)
+    edges = np.concatenate(
+        [
+            np.stack([np.zeros_like(spokes), spokes], axis=1),
+            np.stack([spokes, np.zeros_like(spokes)], axis=1),
+        ],
+        axis=0,
+    )
+    return from_edges(num_vertices, edges, name=name, dedup=True)
+
+
+def path_graph(num_vertices: int, *, name: str = "path") -> Csr:
+    """Simple path 0-1-2-...-(n-1) (extreme diameter)."""
+    if num_vertices < 1:
+        raise ValueError("need at least 1 vertex")
+    a = np.arange(num_vertices - 1, dtype=np.int64)
+    edges = np.concatenate(
+        [np.stack([a, a + 1], axis=1), np.stack([a + 1, a], axis=1)], axis=0
+    )
+    return from_edges(num_vertices, edges, name=name, dedup=True)
+
+
+def complete_graph(num_vertices: int, *, name: str = "complete") -> Csr:
+    """All-to-all graph (stress test for coloring conflicts)."""
+    idx = np.arange(num_vertices, dtype=np.int64)
+    src = np.repeat(idx, num_vertices)
+    dst = np.tile(idx, num_vertices)
+    keep = src != dst
+    return from_edges(num_vertices, np.stack([src[keep], dst[keep]], axis=1), name=name)
+
+
+def bipartite_graph(left: int, right: int, *, name: str = "bipartite") -> Csr:
+    """Complete bipartite graph (2-colorable; coloring sanity check)."""
+    li = np.arange(left, dtype=np.int64)
+    ri = np.arange(left, left + right, dtype=np.int64)
+    src = np.repeat(li, right)
+    dst = np.tile(ri, left)
+    edges = np.concatenate(
+        [np.stack([src, dst], axis=1), np.stack([dst, src], axis=1)], axis=0
+    )
+    return from_edges(left + right, edges, name=name, dedup=True)

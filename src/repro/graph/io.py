@@ -1,0 +1,105 @@
+"""Graph serialization: edge-list text and a MatrixMarket-like format.
+
+The original datasets ship as MatrixMarket / SNAP edge lists; this module
+provides compatible load/save so users can run the reproduction against the
+real graphs if they have them, and so tests can round-trip graphs to disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import Csr, from_edges
+
+__all__ = ["save_edge_list", "load_edge_list", "save_mtx", "load_mtx"]
+
+
+def save_edge_list(graph: Csr, path: str | os.PathLike, *, header: bool = True) -> None:
+    """Write ``src dst`` pairs, one per line, with an optional ``#`` header."""
+    path = Path(path)
+    edges = graph.edge_array()
+    with path.open("w", encoding="utf-8") as fh:
+        if header:
+            fh.write(f"# {graph.name}\n")
+            fh.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        np.savetxt(fh, edges, fmt="%d")
+
+
+def load_edge_list(
+    path: str | os.PathLike, *, num_vertices: int | None = None, name: str | None = None
+) -> Csr:
+    """Read an edge list written by :func:`save_edge_list` or SNAP-style.
+
+    Lines starting with ``#`` are comments.  If ``num_vertices`` is omitted
+    it is inferred as ``max id + 1``.  A ``vertices=N`` header comment, when
+    present, wins over inference (so isolated trailing vertices survive the
+    round trip).
+    """
+    path = Path(path)
+    header_vertices: int | None = None
+    rows: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "vertices=" in line:
+                    token = line.split("vertices=")[1].split()[0]
+                    header_vertices = int(token)
+                continue
+            parts = line.split()
+            rows.append((int(parts[0]), int(parts[1])))
+    if num_vertices is None:
+        num_vertices = header_vertices
+    if num_vertices is None:
+        num_vertices = (max(max(r) for r in rows) + 1) if rows else 0
+    return from_edges(
+        num_vertices,
+        np.asarray(rows, dtype=np.int64).reshape(-1, 2),
+        name=name or path.stem,
+    )
+
+
+def save_mtx(graph: Csr, path: str | os.PathLike) -> None:
+    """Write a MatrixMarket ``coordinate pattern general`` file (1-indexed)."""
+    path = Path(path)
+    edges = graph.edge_array()
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+        fh.write(f"% {graph.name}\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}\n")
+        np.savetxt(fh, edges + 1, fmt="%d")
+
+
+def load_mtx(path: str | os.PathLike, *, name: str | None = None) -> Csr:
+    """Read a MatrixMarket coordinate file (pattern or weighted; 1-indexed).
+
+    Weights, if present, are ignored — the paper's three algorithms are all
+    unweighted.
+    """
+    path = Path(path)
+    dims: tuple[int, int, int] | None = None
+    rows: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path} is not a MatrixMarket file")
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if dims is None:
+                dims = (int(parts[0]), int(parts[1]), int(parts[2]))
+                continue
+            rows.append((int(parts[0]) - 1, int(parts[1]) - 1))
+    if dims is None:
+        raise ValueError(f"{path} has no dimension line")
+    n = max(dims[0], dims[1])
+    return from_edges(
+        n, np.asarray(rows, dtype=np.int64).reshape(-1, 2), name=name or path.stem
+    )

@@ -1,0 +1,15 @@
+"""Benchmark harness: one entry point per paper artifact.
+
+:class:`~repro.harness.runner.Lab` runs the experiment matrix (application
+x dataset x implementation) with memoisation, so regenerating Figure 1
+reuses the runs Table 1 already performed.  :mod:`repro.harness.experiments`
+is the registry mapping every paper table/figure to the workload,
+parameters, and modules that reproduce it (the DESIGN.md per-experiment
+index, as code).
+"""
+
+from repro.harness.experiments import EXPERIMENTS, Experiment
+from repro.harness.report import shape_report
+from repro.harness.runner import Lab
+
+__all__ = ["Lab", "EXPERIMENTS", "Experiment", "shape_report"]

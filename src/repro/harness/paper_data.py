@@ -1,0 +1,203 @@
+"""The paper's published numbers, as data.
+
+Machine-readable transcription of the evaluation-section results of
+Chen et al., ICPP 2022 — used by :mod:`repro.harness.report` to print
+paper-vs-measured tables and compute shape verdicts, and by a few
+benchmarks to assert reproduction targets.  Keeping the numbers in one
+audited place avoids scattering magic constants through benches.
+
+All runtimes are milliseconds on the authors' V100; speedups are
+"x over BSP" exactly as printed in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PaperCell",
+    "PAPER_TABLE1",
+    "PAPER_TABLE4",
+    "PAPER_PERMUTATION",
+    "PAPER_DATASETS",
+    "table1_speedup",
+    "table4_ratio",
+]
+
+
+@dataclass(frozen=True)
+class PaperCell:
+    """One (implementation) cell of a paper Table 1 row."""
+
+    runtime_ms: float
+    speedup: float
+
+
+# Table 1 — runtime (ms) and speedup vs BSP.
+# {app: {dataset: {"BSP": ms, impl: PaperCell, ...}}}
+PAPER_TABLE1: dict[str, dict[str, dict[str, object]]] = {
+    "bfs": {
+        "soc-LiveJournal1": {
+            "BSP": 15.3,
+            "persist-warp": PaperCell(22.3, 0.68),
+            "persist-CTA": PaperCell(12.4, 1.23),
+            "discrete-CTA": PaperCell(10.7, 1.42),
+        },
+        "hollywood-2009": {
+            "BSP": 9.26,
+            "persist-warp": PaperCell(12.2, 0.75),
+            "persist-CTA": PaperCell(6.23, 1.48),
+            "discrete-CTA": PaperCell(4.56, 2.02),
+        },
+        "indochina-2004": {
+            "BSP": 13.2,
+            "persist-warp": PaperCell(15.6, 0.84),
+            "persist-CTA": PaperCell(8.03, 1.65),
+            "discrete-CTA": PaperCell(7.42, 1.79),
+        },
+        "road_usa": {
+            "BSP": 604.0,
+            "persist-warp": PaperCell(327.0, 1.84),
+            "persist-CTA": PaperCell(46.9, 12.8),
+            "discrete-CTA": PaperCell(174.0, 3.46),
+        },
+        "roadNet-CA": {
+            "BSP": 55.9,
+            "persist-warp": PaperCell(39.6, 1.41),
+            "persist-CTA": PaperCell(4.35, 12.8),
+            "discrete-CTA": PaperCell(15.5, 3.58),
+        },
+    },
+    "pagerank": {
+        "soc-LiveJournal1": {
+            "BSP": 262.0,
+            "persist-warp": PaperCell(156.0, 1.68),
+            "persist-CTA": PaperCell(113.0, 2.31),
+            "discrete-CTA": PaperCell(116.0, 2.25),
+        },
+        "hollywood-2009": {
+            "BSP": 87.1,
+            "persist-warp": PaperCell(80.0, 1.08),
+            "persist-CTA": PaperCell(68.5, 1.27),
+            "discrete-CTA": PaperCell(72.4, 1.20),
+        },
+        "indochina-2004": {
+            "BSP": 159.0,
+            "persist-warp": PaperCell(84.7, 1.88),
+            "persist-CTA": PaperCell(52.6, 3.02),
+            "discrete-CTA": PaperCell(49.6, 3.20),
+        },
+        "road_usa": {
+            "BSP": 221.0,
+            "persist-warp": PaperCell(169.0, 1.30),
+            "persist-CTA": PaperCell(121.0, 1.81),
+            "discrete-CTA": PaperCell(112.0, 1.95),
+        },
+        "roadNet-CA": {
+            "BSP": 20.5,
+            "persist-warp": PaperCell(16.2, 1.26),
+            "persist-CTA": PaperCell(10.1, 2.03),
+            "discrete-CTA": PaperCell(8.28, 2.47),
+        },
+    },
+    "coloring": {
+        "soc-LiveJournal1": {
+            "BSP": 96.5,
+            "persist-warp": PaperCell(20.4, 4.71),
+            "persist-CTA": PaperCell(36.1, 2.67),
+            "discrete-warp": PaperCell(63.2, 1.52),
+        },
+        "hollywood-2009": {
+            "BSP": 77.9,
+            "persist-warp": PaperCell(31.9, 2.40),
+            "persist-CTA": PaperCell(59.3, 1.31),
+            "discrete-warp": PaperCell(274.0, 0.28),
+        },
+        "indochina-2004": {
+            "BSP": 673.0,
+            "persist-warp": PaperCell(74.1, 9.08),
+            "persist-CTA": PaperCell(184.0, 3.65),
+            "discrete-warp": PaperCell(2073.0, 0.32),
+        },
+        "road_usa": {
+            "BSP": 38.2,
+            "persist-warp": PaperCell(51.4, 0.74),
+            "persist-CTA": PaperCell(19.3, 1.97),
+            "discrete-warp": PaperCell(81.9, 0.46),
+        },
+        "roadNet-CA": {
+            "BSP": 9.11,
+            "persist-warp": PaperCell(4.18, 2.18),
+            "persist-CTA": PaperCell(3.52, 2.58),
+            "discrete-warp": PaperCell(12.0, 0.75),
+        },
+    },
+}
+
+# Table 4 — workload ratios.  BFS/PageRank vs Gunrock; coloring vs |V|.
+PAPER_TABLE4: dict[str, dict[str, dict[str, float]]] = {
+    "bfs": {
+        "soc-LiveJournal1": {"persist-warp": 1.43, "persist-CTA": 1.06, "discrete-CTA": 1.01},
+        "hollywood-2009": {"persist-warp": 2.26, "persist-CTA": 1.19, "discrete-CTA": 1.07},
+        "indochina-2004": {"persist-warp": 1.28, "persist-CTA": 1.00, "discrete-CTA": 1.00},
+        "road_usa": {"persist-warp": 3.56, "persist-CTA": 1.05, "discrete-CTA": 1.04},
+        "roadNet-CA": {"persist-warp": 2.05, "persist-CTA": 1.02, "discrete-CTA": 1.04},
+    },
+    "pagerank": {
+        "soc-LiveJournal1": {"persist-warp": 0.73, "persist-CTA": 0.72, "discrete-CTA": 0.72},
+        "hollywood-2009": {"persist-warp": 1.08, "persist-CTA": 1.18, "discrete-CTA": 0.90},
+        "indochina-2004": {"persist-warp": 0.76, "persist-CTA": 0.73, "discrete-CTA": 0.75},
+        "road_usa": {"persist-warp": 0.79, "persist-CTA": 0.79, "discrete-CTA": 0.92},
+        "roadNet-CA": {"persist-warp": 1.18, "persist-CTA": 1.11, "discrete-CTA": 0.97},
+    },
+    "coloring": {
+        "soc-LiveJournal1": {"BSP": 1.17, "persist-warp": 1.00, "persist-CTA": 1.74, "discrete-warp": 2.78},
+        "hollywood-2009": {"BSP": 3.31, "persist-warp": 1.15, "persist-CTA": 5.24, "discrete-warp": 37.34},
+        "indochina-2004": {"BSP": 1.96, "persist-warp": 1.04, "persist-CTA": 4.45, "discrete-warp": 16.97},
+        "road_usa": {"BSP": 1.22, "persist-warp": 1.00, "persist-CTA": 1.46, "discrete-warp": 1.41},
+        "roadNet-CA": {"BSP": 2.55, "persist-warp": 1.00, "persist-CTA": 1.74, "discrete-warp": 2.44},
+    },
+}
+
+# Section 6.3 inline table — coloring runtime (ms) before -> after random
+# vertex-id permutation, scale-free datasets only.
+PAPER_PERMUTATION: dict[str, dict[str, tuple[float, float]]] = {
+    "soc-LiveJournal1": {
+        "discrete-warp": (63.0, 31.0),
+        "persist-CTA": (36.0, 21.0),
+        "BSP": (96.0, 89.0),
+    },
+    "hollywood-2009": {
+        "discrete-warp": (274.0, 26.0),
+        "persist-CTA": (59.0, 28.0),
+        "BSP": (77.0, 61.0),
+    },
+    "indochina-2004": {
+        "discrete-warp": (2073.0, 222.0),
+        "persist-CTA": (184.0, 50.0),
+        "BSP": (673.0, 485.0),
+    },
+}
+
+# Table 2 — the original datasets' stats (vertices, edges, diameter,
+# max in-degree, max out-degree, average degree).
+PAPER_DATASETS: dict[str, dict[str, float]] = {
+    "soc-LiveJournal1": {"vertices": 4.8e6, "edges": 68e6, "diameter": 20, "max_in": 13905, "max_out": 20292, "avg_degree": 14},
+    "hollywood-2009": {"vertices": 1.1e6, "edges": 112e6, "diameter": 11, "max_in": 11467, "max_out": 11467, "avg_degree": 105},
+    "indochina-2004": {"vertices": 7.4e6, "edges": 191e6, "diameter": 26, "max_in": 256425, "max_out": 6984, "avg_degree": 8},
+    "road_usa": {"vertices": 23.9e6, "edges": 57e6, "diameter": 6809, "max_in": 9, "max_out": 9, "avg_degree": 2},
+    "roadNet-CA": {"vertices": 1.9e6, "edges": 5e6, "diameter": 849, "max_in": 12, "max_out": 12, "avg_degree": 2},
+}
+
+
+def table1_speedup(app: str, dataset: str, impl: str) -> float:
+    """Paper Table 1 speedup for one cell."""
+    cell = PAPER_TABLE1[app][dataset][impl]
+    if not isinstance(cell, PaperCell):
+        raise KeyError(f"{impl!r} has no speedup (it is the baseline)")
+    return cell.speedup
+
+
+def table4_ratio(app: str, dataset: str, impl: str) -> float:
+    """Paper Table 4 workload ratio for one cell."""
+    return PAPER_TABLE4[app][dataset][impl]

@@ -1,0 +1,128 @@
+"""Paper-vs-measured reporting with shape verdicts.
+
+This is the machinery behind the EXPERIMENTS.md comparison: for every
+Table 1 / Table 4 cell it pairs the paper's published value
+(:mod:`repro.harness.paper_data`) with the reproduction's measurement and
+assigns a *shape verdict*:
+
+* ``match``     — same side of 1.0 and within a factor of 2;
+* ``direction`` — same side of 1.0 (who wins agrees) but magnitude off;
+* ``miss``      — the winner flipped.
+
+The suite-level summary (fraction of cells at ``match``/``direction``)
+is the one-number answer to "did the reproduction work?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.harness.paper_data import PAPER_TABLE1, PAPER_TABLE4, PaperCell
+from repro.harness.runner import Lab
+
+__all__ = ["CellVerdict", "compare_table1", "compare_table4", "shape_report"]
+
+_MAGNITUDE_TOLERANCE = 2.0
+
+
+@dataclass(frozen=True)
+class CellVerdict:
+    """One paper-vs-measured comparison cell."""
+
+    app: str
+    dataset: str
+    impl: str
+    paper: float
+    measured: float
+    verdict: str  # "match" | "direction" | "miss"
+
+    @staticmethod
+    def judge(paper: float, measured: float) -> str:
+        """Shape verdict for a ratio-valued quantity (speedup or workload)."""
+        if paper <= 0 or measured <= 0:
+            return "miss"
+        same_side = (paper >= 1.0) == (measured >= 1.0)
+        # quantities straddling 1.0 by a hair are effectively ties
+        near_tie = abs(paper - 1.0) < 0.15 or abs(measured - 1.0) < 0.15
+        magnitude = max(paper / measured, measured / paper)
+        if same_side and magnitude <= _MAGNITUDE_TOLERANCE:
+            return "match"
+        if same_side or near_tie:
+            return "direction"
+        return "miss"
+
+
+def compare_table1(lab: Lab, app: str) -> list[CellVerdict]:
+    """Verdicts for every Atos speedup cell of one Table 1 sub-table."""
+    verdicts = []
+    for dataset, cells in PAPER_TABLE1[app].items():
+        rows = lab.table1(app, (dataset,))
+        measured = rows[0].speedups
+        for impl, cell in cells.items():
+            if not isinstance(cell, PaperCell):
+                continue
+            verdicts.append(
+                CellVerdict(
+                    app=app,
+                    dataset=dataset,
+                    impl=impl,
+                    paper=cell.speedup,
+                    measured=measured[impl],
+                    verdict=CellVerdict.judge(cell.speedup, measured[impl]),
+                )
+            )
+    return verdicts
+
+
+def compare_table4(lab: Lab, app: str) -> list[CellVerdict]:
+    """Verdicts for every workload-ratio cell of one Table 4 sub-table."""
+    verdicts = []
+    for dataset, cells in PAPER_TABLE4[app].items():
+        row = lab.table4(app, (dataset,))[0]
+        for impl, paper_ratio in cells.items():
+            measured = float(row[impl])
+            verdicts.append(
+                CellVerdict(
+                    app=app,
+                    dataset=dataset,
+                    impl=impl,
+                    paper=paper_ratio,
+                    measured=measured,
+                    verdict=CellVerdict.judge(paper_ratio, measured),
+                )
+            )
+    return verdicts
+
+
+def shape_report(lab: Lab, *, apps: tuple[str, ...] = ("bfs", "pagerank", "coloring")) -> str:
+    """Full paper-vs-measured report with the suite-level verdict."""
+    sections = []
+    all_verdicts: list[CellVerdict] = []
+    for app in apps:
+        for title, verdicts in (
+            (f"Table 1 speedups — {app}", compare_table1(lab, app)),
+            (f"Table 4 workload ratios — {app}", compare_table4(lab, app)),
+        ):
+            all_verdicts.extend(verdicts)
+            rows = [
+                [v.dataset, v.impl, f"{v.paper:.2f}", f"{v.measured:.2f}", v.verdict]
+                for v in verdicts
+            ]
+            sections.append(
+                format_table(
+                    ["Dataset", "impl", "paper", "measured", "verdict"],
+                    rows,
+                    title=title,
+                )
+            )
+    n = len(all_verdicts)
+    matches = sum(v.verdict == "match" for v in all_verdicts)
+    directions = sum(v.verdict == "direction" for v in all_verdicts)
+    misses = n - matches - directions
+    sections.append(
+        f"shape verdict: {matches}/{n} match, {directions}/{n} direction-only, "
+        f"{misses}/{n} miss "
+        f"({(matches + directions) / max(n, 1):.0%} of cells agree on the winner)"
+    )
+    return "\n\n".join(sections)

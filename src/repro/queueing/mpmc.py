@@ -1,0 +1,176 @@
+"""A simulated multi-producer/multi-consumer FIFO queue.
+
+Payloads are ``int64`` work items (vertex ids; the coloring app also stores
+negated ids as conflict-check tags).  Storage is a flat ring buffer that
+doubles on demand — pops slice contiguous runs, so a fetch of ``k`` items is
+O(k) with no Python-level per-item loop.
+
+Timing model
+------------
+Real Atos queues serialize on two atomic counters (head and tail).  We model
+each operation as acquiring the queue's atomic for ``atomic_ns`` simulated
+nanoseconds: operations arriving while the atomic is held queue up behind
+it.  :attr:`QueueStats.contention_wait_ns` accumulates the induced waiting
+so experiments can report how far a single shared queue is from becoming
+the bottleneck (it never is, in the paper and in our runs — but the model
+lets us check rather than assume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MpmcQueue", "QueueStats"]
+
+
+@dataclass
+class QueueStats:
+    """Operation counters for one queue."""
+
+    pushes: int = 0
+    pops: int = 0
+    items_pushed: int = 0
+    items_popped: int = 0
+    empty_pops: int = 0
+    contention_wait_ns: float = 0.0
+    max_size: int = 0
+
+
+class MpmcQueue:
+    """FIFO of int64 items with an atomic-serialization timing model."""
+
+    __slots__ = (
+        "_buf",
+        "_head",
+        "_tail",
+        "_pop_atomic_free",
+        "_push_atomic_free",
+        "atomic_ns",
+        "capacity",
+        "stats",
+        "name",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 1 << 62,
+        *,
+        atomic_ns: float = 2.0,
+        initial_buffer: int = 1024,
+        name: str = "queue",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._buf = np.empty(max(16, initial_buffer), dtype=np.int64)
+        self._head = 0  # index of next item to pop
+        self._tail = 0  # index one past the last item
+        # Head and tail counters are distinct atomics on the device, so pop
+        # and push traffic serialize independently.
+        self._pop_atomic_free = 0.0
+        self._push_atomic_free = 0.0
+        self.atomic_ns = float(atomic_ns)
+        self.capacity = int(capacity)
+        self.stats = QueueStats()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of items currently queued."""
+        return self._tail - self._head
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def _acquire_pop_atomic(self, now: float) -> float:
+        """Serialize on the head counter; returns the operation end time."""
+        start = max(now, self._pop_atomic_free)
+        self.stats.contention_wait_ns += start - now
+        self._pop_atomic_free = start + self.atomic_ns
+        return self._pop_atomic_free
+
+    def _acquire_push_atomic(self, now: float) -> float:
+        """Serialize on the tail counter; returns the operation end time."""
+        start = max(now, self._push_atomic_free)
+        self.stats.contention_wait_ns += start - now
+        self._push_atomic_free = start + self.atomic_ns
+        return self._push_atomic_free
+
+    def _ensure_room(self, extra: int) -> None:
+        if self._tail + extra <= self._buf.size:
+            return
+        live = self.size
+        need = live + extra
+        new_size = self._buf.size
+        while new_size < need:
+            new_size *= 2
+        new_buf = np.empty(new_size, dtype=np.int64)
+        new_buf[:live] = self._buf[self._head : self._tail]
+        self._buf = new_buf
+        self._head = 0
+        self._tail = live
+
+    # ------------------------------------------------------------------
+    def push(self, items: np.ndarray, now: float = 0.0) -> float:
+        """Append ``items``; returns the simulated completion time.
+
+        Raises :class:`OverflowError` when the queue would exceed its
+        configured capacity — mirroring the fixed-size device buffers the
+        real framework allocates in ``Queues::init``.
+        """
+        items = np.asarray(items, dtype=np.int64).ravel()
+        if items.size == 0:
+            return now
+        if self.size + items.size > self.capacity:
+            raise OverflowError(
+                f"queue {self.name!r} over capacity: "
+                f"{self.size} + {items.size} > {self.capacity}"
+            )
+        t = self._acquire_push_atomic(now)
+        self._ensure_room(items.size)
+        self._buf[self._tail : self._tail + items.size] = items
+        self._tail += items.size
+        self.stats.pushes += 1
+        self.stats.items_pushed += items.size
+        self.stats.max_size = max(self.stats.max_size, self.size)
+        return t
+
+    def pop(self, max_items: int, now: float = 0.0) -> tuple[np.ndarray, float]:
+        """Remove up to ``max_items`` from the head.
+
+        Returns ``(items, completion_time)``.  An empty pop still pays the
+        atomic cost (the worker had to look), and is counted separately in
+        the stats — empty pops are what drive the persistent kernel's
+        polling overhead.
+        """
+        if max_items <= 0:
+            raise ValueError("max_items must be positive")
+        t = self._acquire_pop_atomic(now)
+        n = min(max_items, self.size)
+        if n == 0:
+            self.stats.empty_pops += 1
+            return np.empty(0, dtype=np.int64), t
+        out = self._buf[self._head : self._head + n].copy()
+        self._head += n
+        self.stats.pops += 1
+        self.stats.items_popped += n
+        if self._head == self._tail:
+            # reset to keep the buffer compact
+            self._head = self._tail = 0
+        return out, t
+
+    def drain(self) -> np.ndarray:
+        """Remove and return everything (no timing; used by discrete mode
+        to snapshot a generation and by tests)."""
+        out = self._buf[self._head : self._tail].copy()
+        self._head = self._tail = 0
+        return out
+
+    def peek_all(self) -> np.ndarray:
+        """A copy of the current contents without removing them."""
+        return self._buf[self._head : self._tail].copy()

@@ -1,0 +1,119 @@
+"""Work-stealing worklist — the distributed-queue alternative.
+
+The paper's Section 1 argues for a *single shared queue* because it
+"balances load more quickly than a distributed queue, yet is fast enough to
+keep GPU workers occupied".  This module implements the alternative the
+claim is measured against: per-worker-group deques with steal-on-empty
+(Cederman & Tsigas-style GPU work stealing, the paper's reference [7]).
+
+Timing model: each deque has its own atomic pair (owner pops and thief
+steals serialize on it); a steal additionally pays ``steal_probe_ns`` per
+*probed* deque, modeling the remote-scan cost that makes distributed
+queues slower to balance.  :mod:`benchmarks/bench_ablations` uses the drop-in
+:class:`StealingWorklist` to put numbers on the paper's design claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing.mpmc import MpmcQueue
+
+__all__ = ["StealingWorklist"]
+
+
+class StealingWorklist:
+    """Per-group deques with steal-on-empty.
+
+    API-compatible with :class:`~repro.queueing.broker.QueueBroker`
+    (``push(items, now)``, ``pop(max_items, now, home=...)``, ``size``) so
+    the scheduler can run on either — workers push to their *home* deque
+    and steal half a victim's items when theirs runs dry.
+    """
+
+    def __init__(
+        self,
+        num_deques: int = 8,
+        *,
+        capacity: int = 1 << 62,
+        atomic_ns: float = 2.0,
+        steal_probe_ns: float = 30.0,
+        seed: int = 0,
+        name: str = "steal",
+    ) -> None:
+        if num_deques <= 0:
+            raise ValueError("num_deques must be positive")
+        if steal_probe_ns < 0:
+            raise ValueError("steal_probe_ns must be non-negative")
+        self.deques = [
+            MpmcQueue(capacity, atomic_ns=atomic_ns, name=f"{name}[{i}]")
+            for i in range(num_deques)
+        ]
+        self.steal_probe_ns = float(steal_probe_ns)
+        self.steals = 0
+        self.failed_steals = 0
+        self._probe_seq = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def num_queues(self) -> int:
+        return len(self.deques)
+
+    @property
+    def size(self) -> int:
+        return sum(d.size for d in self.deques)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    # ------------------------------------------------------------------
+    def push(self, items: np.ndarray, now: float = 0.0, *, home: int = 0) -> float:
+        """Push to the producer's own deque (no scatter)."""
+        return self.deques[home % self.num_queues].push(items, now)
+
+    def _victim_order(self, home: int) -> list[int]:
+        """Deterministic pseudo-random probe order (excludes home)."""
+        n = self.num_queues
+        self._probe_seq = (self._probe_seq * 1103515245 + 12345) & 0x7FFFFFFF
+        start = self._probe_seq % n
+        order = [(start + k) % n for k in range(n)]
+        return [v for v in order if v != home % n]
+
+    def pop(self, max_items: int, now: float = 0.0, *, home: int = 0) -> tuple[np.ndarray, float]:
+        """Pop from the home deque; on empty, probe victims and steal half."""
+        if max_items <= 0:
+            raise ValueError("max_items must be positive")
+        own = self.deques[home % self.num_queues]
+        items, t = own.pop(max_items, now)
+        if items.size:
+            return items, t
+        for victim_idx in self._victim_order(home):
+            t += self.steal_probe_ns  # remote probe cost
+            victim = self.deques[victim_idx]
+            if victim.size == 0:
+                self.failed_steals += 1
+                continue
+            # steal half the victim's items (classic stealing granularity)
+            take = max(1, victim.size // 2)
+            loot, t = victim.pop(take, t)
+            if loot.size == 0:
+                self.failed_steals += 1
+                continue
+            self.steals += 1
+            # keep what we can process now; bank the rest in our own deque
+            if loot.size > max_items:
+                own.push(loot[max_items:], t)
+                loot = loot[:max_items]
+            return loot, t
+        return np.empty(0, dtype=np.int64), t
+
+    def drain(self) -> np.ndarray:
+        """Snapshot-and-clear all deques (deque order)."""
+        parts = [d.drain() for d in self.deques]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def total_contention_wait(self) -> float:
+        return sum(d.stats.contention_wait_ns for d in self.deques)

@@ -1,0 +1,85 @@
+"""Model calibration probes.
+
+Small measurement routines that report what the machine model actually
+delivers — the numbers DESIGN.md's calibration section cites and the
+regression tests pin down.  They exist so the model's anchor quantities
+are *measured from the model* rather than asserted in prose: if a future
+edit to the cost model shifts an anchor, a test fails here before a
+benchmark silently changes shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cost import bsp_kernel_time, task_cost
+from repro.sim.memory import BandwidthServer
+from repro.sim.occupancy import occupancy_for
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = ["CalibrationReport", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured anchors of one machine model."""
+
+    spec_name: str
+    #: saturated BSP edge throughput (edges/ns) on a huge balanced kernel
+    bsp_edge_rate: float
+    #: per-iteration fixed cost of one BSP step (launch + floor + barrier)
+    bsp_iteration_floor_ns: float
+    #: resident warp workers for a typical persistent kernel (56 regs)
+    warp_worker_slots: int
+    #: resident CTA workers (256 threads, 56 regs)
+    cta_worker_slots: int
+    #: latency of one isolated warp task over a degree-16 vertex
+    warp_task_latency_ns: float
+    #: ratio of saturated-queue task time to isolated task time for the
+    #: same work (how much the bandwidth server stretches a busy machine)
+    saturation_stretch: float
+
+
+def calibrate(spec: GpuSpec = V100_SPEC) -> CalibrationReport:
+    """Measure the model's anchor quantities."""
+    # saturated throughput: a kernel big enough to dwarf fixed costs
+    edges = int(spec.mem_edges_per_ns * 1e8)
+    busy = bsp_kernel_time(spec, frontier_size=1000, edge_count=edges, strategy="none")
+    bsp_edge_rate = edges / busy
+
+    floor = (
+        spec.kernel_launch_ns
+        + bsp_kernel_time(spec, frontier_size=1, edge_count=1)
+        + spec.barrier_ns
+    )
+
+    warp_occ = occupancy_for(spec, threads_per_cta=256, registers_per_thread=56)
+    cta_occ = occupancy_for(spec, threads_per_cta=256, registers_per_thread=56)
+
+    mem = BandwidthServer(spec.mem_edges_per_ns)
+    isolated = task_cost(
+        spec, mem, start=0.0, worker_threads=32,
+        num_items=1, edge_counts_sum=16, max_degree=16, use_internal_lb=False,
+    )
+    # saturate: every resident warp already holds an average task
+    mem2 = BandwidthServer(spec.mem_edges_per_ns)
+    for _ in range(warp_occ.total_warps):
+        task_cost(
+            spec, mem2, start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=16, max_degree=16, use_internal_lb=False,
+        )
+    saturated = task_cost(
+        spec, mem2, start=0.0, worker_threads=32,
+        num_items=1, edge_counts_sum=16, max_degree=16, use_internal_lb=False,
+    )
+    stretch = saturated.finish_time / max(isolated.finish_time, 1e-12)
+
+    return CalibrationReport(
+        spec_name=spec.name,
+        bsp_edge_rate=bsp_edge_rate,
+        bsp_iteration_floor_ns=floor,
+        warp_worker_slots=warp_occ.total_warps,
+        cta_worker_slots=cta_occ.total_ctas,
+        warp_task_latency_ns=isolated.latency_ns,
+        saturation_stretch=stretch,
+    )

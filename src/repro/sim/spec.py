@@ -1,0 +1,148 @@
+"""GPU machine description and cost constants.
+
+All times are **simulated nanoseconds**.  The default :data:`V100_SPEC`
+approximates the paper's NVIDIA V100 (80 SMs, 64 warp slots/SM, 64K
+registers/SM, 96 KB shared memory/SM).
+
+Calibration
+-----------
+The constants were chosen so the *relative* magnitudes match published
+V100 behaviour; DESIGN.md §4 and EXPERIMENTS.md record the resulting
+paper-vs-measured shapes.  The key anchors:
+
+* ``mem_edges_per_ns`` — aggregate graph-traversal throughput when the
+  machine is saturated.  Gunrock-class BFS moves ~3-4.5 edges/ns on a V100
+  (68M edges in ~15-20 ms); we use 3.0.
+* ``kernel_launch_ns`` / ``barrier_ns`` — a CUDA kernel launch costs ~5 us
+  end-to-end and a device synchronization ~2 us.  These are physical
+  constants that do NOT shrink with graph size — which is exactly why the
+  paper's small-frontier problem exists: on high-diameter graphs the BSP
+  fixed costs dominate regardless of how much work each kernel carries.
+* ``warp_step_ns`` — one SIMD memory round for a warp-sized worker.  With
+  thousands of resident warps the *observed* per-task time is dominated by
+  the bandwidth server, so this latency term matters exactly where it does
+  on hardware: on shallow queues and critical-path tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GpuSpec", "V100_SPEC", "FULL_V100_SPEC"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Machine model parameters (see module docstring for calibration)."""
+
+    name: str = "V100-model-scaled"
+
+    # --- physical shape ------------------------------------------------
+    # The default machine is a V100 *scaled down 10x* (8 SMs instead of
+    # 80, and bandwidth scaled to match).  The reproduction's datasets are
+    # ~100x smaller than the paper's, and what the paper's effects depend
+    # on is the *ratio* of resident workers to frontier/graph size — a
+    # full-size V100 against a 16k-vertex graph would hold the entire
+    # graph in flight at once, which no real configuration ever does.
+    # ``FULL_V100_SPEC`` provides the unscaled machine for ablations.
+    num_sms: int = 8
+    threads_per_warp: int = 32
+    max_warps_per_sm: int = 64
+    max_threads_per_sm: int = 2048
+    max_ctas_per_sm: int = 32
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 96 * 1024
+
+    # --- fixed costs (ns) ----------------------------------------------
+    kernel_launch_ns: float = 5000.0
+    barrier_ns: float = 2000.0
+    # serialized cost of one pop/push on a queue's atomic counter
+    atomic_queue_ns: float = 4.0
+    # fixed per-task cost (pop bookkeeping, state reads)
+    task_fixed_ns: float = 60.0
+    # extra fixed cost of a CTA-worker task (CTA-wide sync + LBS setup)
+    cta_task_fixed_ns: float = 250.0
+    # minimum busy time of any discrete/BSP kernel (dependent-load depth)
+    kernel_floor_ns: float = 800.0
+
+    # --- latency terms (ns) ---------------------------------------------
+    # one 32-wide SIMD memory round of a warp worker
+    warp_step_ns: float = 280.0
+    # one serial edge for a thread-sized worker
+    thread_edge_ns: float = 60.0
+    # one T-wide round of a CTA worker (pipelined better than a lone warp)
+    cta_step_ns: float = 120.0
+
+    # --- bandwidth model --------------------------------------------------
+    # aggregate edge throughput when saturated (edges per ns)
+    mem_edges_per_ns: float = 0.35
+    # memory transactions round up to this many lanes for a warp worker
+    # without internal load balancing (wasted lanes on low-degree vertices)
+    warp_lane_granularity: int = 8
+    # bandwidth overhead multiplier of the in-worker load-balancing search
+    lbs_bandwidth_overhead: float = 0.10
+
+    # --- BSP engine -------------------------------------------------------
+    # Vertices per simultaneous wave inside a BSP kernel: items within one
+    # wave read a shared snapshot; waves observe earlier waves' writes.
+    # This is the launch-wave analogue of the discrete strategy's
+    # read-at-pop semantics, bounded by how many items truly overlap in
+    # the memory system rather than by resident-thread count.
+    bsp_wave_items: int = 256
+    # data-parallel LB setup per BSP kernel (prefix-sum over the frontier)
+    lb_setup_ns: float = 400.0
+    lb_per_item_ns: float = 0.05
+    # residual imbalance of the bucketed TWC strategy (fraction of work)
+    twc_imbalance: float = 0.15
+
+    # relative spread of per-task latency (cache misses, scheduling noise).
+    # A task's latency term is scaled by a deterministic pseudo-random
+    # factor in [1, 1 + duration_jitter]; the resulting out-of-order
+    # completions are what let asynchronous BFS race across levels (the
+    # overwork source on mesh graphs, Table 4).
+    duration_jitter: float = 2.0
+
+    # --- read/write staleness ---------------------------------------------
+    # How long before a task's completion its reads of shared state are
+    # actually serviced (the outstanding-load window).  In a persistent
+    # kernel, pops are serialized on the memory server, so two tasks only
+    # observe each other's *stale* state when their service slots fall
+    # within this window; in a discrete kernel a whole launch wave reads at
+    # its start.  This asymmetry is the model behind the Section 6.3
+    # persistent-vs-discrete coloring-conflict result.
+    read_lead_ns: float = 25.0
+    # Same quantity for tasks inside a discrete kernel launch: a launch
+    # wave issues its reads up front (no pop loop pacing them), so a task
+    # sees no writes from anything concurrently resident — the stale
+    # window is the whole in-flight worker population.  Infinity means
+    # "read at pop".
+    discrete_read_lead_ns: float = float("inf")
+
+    # --- scheduling -------------------------------------------------------
+    # deterministic pseudo-random stagger applied to persistent-kernel pops
+    # (hardware warp schedulers do not drain the queue in strict id order)
+    persistent_jitter_ns: float = 150.0
+    # how long an empty-popping persistent worker waits before re-polling
+    poll_retry_ns: float = 200.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_warp_slots(self) -> int:
+        """Upper bound on simultaneously resident warps."""
+        return self.num_sms * self.max_warps_per_sm
+
+    @property
+    def total_thread_slots(self) -> int:
+        """Upper bound on simultaneously resident threads."""
+        return self.num_sms * self.max_threads_per_sm
+
+    def scaled(self, **overrides: float) -> "GpuSpec":
+        """A copy with some fields overridden (for ablation benches)."""
+        return replace(self, **overrides)
+
+
+#: Default machine model used throughout the reproduction (scaled V100).
+V100_SPEC = GpuSpec()
+
+#: The unscaled 80-SM V100 shape, for machine-scaling ablations.
+FULL_V100_SPEC = GpuSpec(name="V100-model-full", num_sms=80, mem_edges_per_ns=3.5)

@@ -1,0 +1,65 @@
+"""Shared fixtures: small graphs and a fast machine spec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Csr, from_edges
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_mesh,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.sim.spec import GpuSpec
+
+
+@pytest.fixture
+def triangle() -> Csr:
+    """3-cycle, symmetric."""
+    return from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)], name="triangle")
+
+
+@pytest.fixture
+def path10() -> Csr:
+    return path_graph(10)
+
+
+@pytest.fixture
+def grid5x4() -> Csr:
+    return grid_mesh(5, 4)
+
+
+@pytest.fixture
+def small_rmat() -> Csr:
+    return rmat(8, edge_factor=6, seed=7, name="rmat8")
+
+
+@pytest.fixture
+def small_ba() -> Csr:
+    return barabasi_albert(200, attach=4, seed=3)
+
+
+@pytest.fixture
+def star50() -> Csr:
+    return star_graph(50)
+
+
+@pytest.fixture
+def fast_spec() -> GpuSpec:
+    """A tiny machine so scheduler tests run in milliseconds."""
+    return GpuSpec(num_sms=2, mem_edges_per_ns=0.1)
+
+
+def make_random_graph(n: int, avg_degree: float, seed: int) -> Csr:
+    """Symmetric uniform random graph helper for property tests."""
+    rng = np.random.default_rng(seed)
+    m = max(1, int(n * avg_degree))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    both = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    return from_edges(n, both, name=f"rand{n}")

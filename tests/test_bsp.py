@@ -1,0 +1,111 @@
+"""Unit tests for the BSP engine and data-parallel load balancing."""
+
+import numpy as np
+import pytest
+
+from repro.bsp.engine import BspTimeline
+from repro.bsp.loadbalance import balanced_chunks, flatten_frontier, twc_buckets
+from repro.graph.csr import from_edges
+from repro.graph.generators import rmat, star_graph
+from repro.sim.spec import GpuSpec
+
+SPEC = GpuSpec(num_sms=2)
+
+
+class TestBspTimeline:
+    def test_kernel_advances_clock(self):
+        tl = BspTimeline(spec=SPEC)
+        t = tl.kernel(frontier_size=10, edge_count=100)
+        assert t >= SPEC.kernel_launch_ns + SPEC.kernel_floor_ns
+        assert tl.kernel_launches == 1
+
+    def test_barrier_advances_clock(self):
+        tl = BspTimeline(spec=SPEC)
+        before = tl.now
+        tl.barrier()
+        assert tl.now == before + SPEC.barrier_ns
+
+    def test_iterations_counted(self):
+        tl = BspTimeline(spec=SPEC)
+        tl.end_iteration()
+        tl.end_iteration()
+        assert tl.iterations == 2
+
+    def test_trace_records_retirements(self):
+        tl = BspTimeline(spec=SPEC)
+        tl.kernel(frontier_size=5, edge_count=20, items_retired=5, work_units=20.0)
+        assert tl.trace.total_items == 5
+        assert tl.trace.total_work == 20.0
+
+    def test_monotone_clock(self):
+        tl = BspTimeline(spec=SPEC)
+        times = []
+        for _ in range(5):
+            times.append(tl.kernel(frontier_size=1, edge_count=1))
+            tl.barrier()
+        assert times == sorted(times)
+
+
+class TestFlattenFrontier:
+    def test_covers_every_edge_once(self):
+        g = rmat(6, edge_factor=4, seed=1)
+        frontier = np.arange(g.num_vertices, dtype=np.int64)
+        src, dst = flatten_frontier(g, frontier)
+        assert src.size == g.num_edges
+        assert np.array_equal(np.sort(dst), np.sort(g.indices))
+
+    def test_respects_frontier_subset(self):
+        g = star_graph(10)
+        src, dst = flatten_frontier(g, np.array([0]))
+        assert src.size == 9
+        assert (src == 0).all()
+
+
+class TestBalancedChunks:
+    def test_even_split(self):
+        offs = balanced_chunks(100, 4)
+        assert list(np.diff(offs)) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        offs = balanced_chunks(10, 3)
+        sizes = np.diff(offs)
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_more_workers_than_edges(self):
+        offs = balanced_chunks(2, 5)
+        assert np.diff(offs).sum() == 2
+
+    def test_zero_edges(self):
+        assert list(balanced_chunks(0, 3)) == [0, 0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(10, 0)
+        with pytest.raises(ValueError):
+            balanced_chunks(-1, 2)
+
+
+class TestTwcBuckets:
+    def test_partition_complete_and_disjoint(self):
+        g = rmat(8, edge_factor=8, seed=2)
+        frontier = np.arange(g.num_vertices, dtype=np.int64)
+        buckets = twc_buckets(g, frontier)
+        recombined = np.concatenate([buckets["thread"], buckets["warp"], buckets["cta"]])
+        assert sorted(recombined) == sorted(frontier)
+
+    def test_degree_classes(self):
+        g = star_graph(300)  # hub degree 299, spokes degree 1
+        buckets = twc_buckets(g, np.arange(300, dtype=np.int64))
+        assert 0 in buckets["cta"]
+        assert buckets["thread"].size == 299
+
+    def test_stable_within_bucket(self):
+        g = from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        buckets = twc_buckets(g, np.array([3, 1, 0]))
+        assert list(buckets["thread"]) == [3, 1, 0]
+
+    def test_invalid_thresholds(self):
+        g = star_graph(5)
+        with pytest.raises(ValueError):
+            twc_buckets(g, np.array([0]), warp_threshold=64, cta_threshold=32)

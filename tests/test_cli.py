@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "Figure 4" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--size", "tiny"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_table1_app_selection(self, capsys):
+        assert main(["table1", "--app", "bfs", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "persist-warp" in out
+
+    def test_fig(self, capsys):
+        assert main(["fig", "--app", "bfs", "--dataset", "roadNet-CA", "--size", "tiny"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--app", "bfs", "--dataset", "roadNet-CA", "--size", "tiny"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report", "--size", "tiny"]) == 0
+        assert "shape verdict" in capsys.readouterr().out
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--app", "sssp"])

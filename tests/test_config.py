@@ -1,0 +1,87 @@
+"""Unit tests for AtosConfig and the named variants."""
+
+import pytest
+
+from repro.core.config import (
+    DISCRETE_CTA,
+    DISCRETE_WARP,
+    PERSIST_CTA,
+    PERSIST_WARP,
+    VARIANTS,
+    AtosConfig,
+    KernelStrategy,
+    variant_by_name,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = AtosConfig()
+        assert cfg.is_persistent
+        assert cfg.is_warp_worker
+
+    def test_worker_size_classes(self):
+        assert AtosConfig(worker_threads=1).is_thread_worker
+        assert AtosConfig(worker_threads=32).is_warp_worker
+        assert AtosConfig(worker_threads=256, fetch_size=2, internal_lb=True).is_cta_worker
+
+    def test_cta_must_be_warp_multiple(self):
+        with pytest.raises(ValueError, match="multiple of 32"):
+            AtosConfig(worker_threads=100)
+
+    def test_fetch_size_positive(self):
+        with pytest.raises(ValueError):
+            AtosConfig(fetch_size=0)
+
+    def test_internal_lb_needs_wide_worker(self):
+        with pytest.raises(ValueError, match="warp-sized"):
+            AtosConfig(worker_threads=1, internal_lb=True)
+
+    def test_num_queues_positive(self):
+        with pytest.raises(ValueError):
+            AtosConfig(num_queues=0)
+
+    def test_occupancy_cta_threads(self):
+        warp = AtosConfig(worker_threads=32, cta_threads=128)
+        assert warp.occupancy_cta_threads == 128
+        cta = AtosConfig(worker_threads=512)
+        assert cta.occupancy_cta_threads == 512
+
+    def test_with_overrides(self):
+        cfg = PERSIST_WARP.with_overrides(fetch_size=8)
+        assert cfg.fetch_size == 8
+        assert cfg.strategy is KernelStrategy.PERSISTENT
+        assert PERSIST_WARP.fetch_size == 1  # original untouched
+
+    def test_describe(self):
+        assert PERSIST_WARP.describe() == "persist-warp"
+        assert PERSIST_CTA.describe().startswith("persist-256-")
+        assert DISCRETE_WARP.describe() == "discrete-warp"
+
+
+class TestVariants:
+    def test_four_named_variants(self):
+        assert set(VARIANTS) == {
+            "persist-warp",
+            "persist-CTA",
+            "discrete-CTA",
+            "discrete-warp",
+        }
+
+    def test_persistent_uses_more_registers(self):
+        """Section 3.4: the queue loop costs registers."""
+        assert PERSIST_WARP.registers_per_thread > DISCRETE_WARP.registers_per_thread
+        assert PERSIST_CTA.registers_per_thread > DISCRETE_CTA.registers_per_thread
+
+    def test_cta_variants_use_internal_lb(self):
+        assert PERSIST_CTA.internal_lb
+        assert DISCRETE_CTA.internal_lb
+        assert not PERSIST_WARP.internal_lb
+
+    def test_lookup_case_insensitive(self):
+        assert variant_by_name("PERSIST-WARP") is PERSIST_WARP
+        assert variant_by_name("discrete-cta") is DISCRETE_CTA
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            variant_by_name("warp-drive")

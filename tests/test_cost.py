@@ -1,0 +1,144 @@
+"""Unit tests for the worker-task and BSP cost models."""
+
+import pytest
+
+from repro.sim.cost import bsp_kernel_time, task_cost
+from repro.sim.memory import BandwidthServer
+from repro.sim.spec import GpuSpec
+
+SPEC = GpuSpec()
+
+
+def fresh_mem() -> BandwidthServer:
+    return BandwidthServer(SPEC.mem_edges_per_ns)
+
+
+class TestTaskCost:
+    def test_empty_task_costs_fixed_overhead(self):
+        c = task_cost(
+            SPEC, fresh_mem(), start=100.0, worker_threads=32,
+            num_items=0, edge_counts_sum=0, max_degree=0, use_internal_lb=False,
+        )
+        assert c.finish_time == 100.0 + SPEC.task_fixed_ns
+        assert c.bandwidth_edges == 0.0
+
+    def test_warp_single_item_latency(self):
+        c = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=10, max_degree=10, use_internal_lb=False,
+        )
+        # one item, degree 10 < 32: one SIMD step
+        assert c.latency_ns == SPEC.task_fixed_ns + 1 * SPEC.warp_step_ns
+
+    def test_warp_latency_grows_with_degree(self):
+        def latency(deg: int) -> float:
+            return task_cost(
+                SPEC, fresh_mem(), start=0.0, worker_threads=32,
+                num_items=1, edge_counts_sum=deg, max_degree=deg,
+                use_internal_lb=False,
+            ).latency_ns
+
+        assert latency(320) > latency(32) > 0
+
+    def test_warp_lane_padding(self):
+        """Low-degree vertices waste transaction lanes (no internal LB)."""
+        c = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=2, max_degree=2, use_internal_lb=False,
+        )
+        assert c.bandwidth_edges >= SPEC.warp_lane_granularity
+
+    def test_cta_packs_lanes_densely(self):
+        """Internal LB charges ~edge_count (plus the LBS overhead)."""
+        edges = 100
+        c = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=256,
+            num_items=64, edge_counts_sum=edges, max_degree=5, use_internal_lb=True,
+        )
+        assert c.bandwidth_edges < edges * 1.3 + 64 + 1
+
+    def test_cta_latency_scales_with_rounds(self):
+        def lat(edges: int) -> float:
+            return task_cost(
+                SPEC, fresh_mem(), start=0.0, worker_threads=256,
+                num_items=1, edge_counts_sum=edges, max_degree=edges,
+                use_internal_lb=True,
+            ).latency_ns
+
+        assert lat(2560) > lat(256)
+
+    def test_thread_worker_serial(self):
+        c = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=1,
+            num_items=1, edge_counts_sum=50, max_degree=50, use_internal_lb=False,
+        )
+        assert c.latency_ns >= 50 * SPEC.thread_edge_ns
+
+    def test_bandwidth_term_dominates_under_saturation(self):
+        mem = BandwidthServer(SPEC.mem_edges_per_ns)
+        mem.reserve(0.0, 1_000_000)  # deep backlog
+        c = task_cost(
+            SPEC, mem, start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=10, max_degree=10, use_internal_lb=False,
+        )
+        assert c.finish_time > 1_000_000 / SPEC.mem_edges_per_ns * 0.9
+
+    def test_latency_scale_multiplier(self):
+        base = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=10, max_degree=10,
+            use_internal_lb=False, latency_scale=1.0,
+        )
+        jittered = task_cost(
+            SPEC, fresh_mem(), start=0.0, worker_threads=32,
+            num_items=1, edge_counts_sum=10, max_degree=10,
+            use_internal_lb=False, latency_scale=2.0,
+        )
+        assert jittered.latency_ns == pytest.approx(2 * base.latency_ns)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            task_cost(
+                SPEC, fresh_mem(), start=0.0, worker_threads=0,
+                num_items=1, edge_counts_sum=1, max_degree=1, use_internal_lb=False,
+            )
+        with pytest.raises(ValueError):
+            task_cost(
+                SPEC, fresh_mem(), start=0.0, worker_threads=32,
+                num_items=-1, edge_counts_sum=1, max_degree=1, use_internal_lb=False,
+            )
+
+
+class TestBspKernelTime:
+    def test_empty_frontier_costs_floor(self):
+        assert bsp_kernel_time(SPEC, frontier_size=0, edge_count=0) == SPEC.kernel_floor_ns
+
+    def test_small_frontier_hits_floor(self):
+        t = bsp_kernel_time(SPEC, frontier_size=1, edge_count=2)
+        assert t >= SPEC.kernel_floor_ns
+
+    def test_large_frontier_bandwidth_bound(self):
+        edges = 1_000_000
+        t = bsp_kernel_time(SPEC, frontier_size=1000, edge_count=edges)
+        assert t >= edges / SPEC.mem_edges_per_ns
+
+    def test_twc_slower_than_lbs_on_big_work(self):
+        """Bucketed mapping leaves residual imbalance."""
+        kwargs = dict(frontier_size=10_000, edge_count=500_000)
+        assert bsp_kernel_time(SPEC, strategy="twc", **kwargs) > bsp_kernel_time(
+            SPEC, strategy="lbs", **kwargs
+        )
+
+    def test_none_strategy_has_no_setup(self):
+        kwargs = dict(frontier_size=10_000, edge_count=500_000)
+        assert bsp_kernel_time(SPEC, strategy="none", **kwargs) < bsp_kernel_time(
+            SPEC, strategy="lbs", **kwargs
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            bsp_kernel_time(SPEC, frontier_size=1, edge_count=1, strategy="magic")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bsp_kernel_time(SPEC, frontier_size=-1, edge_count=0)

@@ -1,0 +1,169 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Csr, from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        g = from_edges(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_basic_edges(self):
+        g = from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.num_edges == 3
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [2]
+        assert list(g.neighbors(2)) == []
+
+    def test_dedup_removes_parallel_edges(self):
+        g = from_edges(2, [(0, 1), (0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_dedup_disabled_keeps_parallel_edges(self):
+        g = from_edges(2, [(0, 1), (0, 1)], dedup=False)
+        assert g.num_edges == 2
+
+    def test_neighbor_lists_sorted(self):
+        g = from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(2, [(0, 2)])
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(2, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(-1, [])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(E, 2\)"):
+            from_edges(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_direct_constructor_validates_indptr_monotonic(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Csr(indptr=np.array([0, 2, 1, 2]), indices=np.array([0, 0]))
+
+    def test_direct_constructor_validates_first_offset(self):
+        with pytest.raises(ValueError, match=r"indptr\[0\]"):
+            Csr(indptr=np.array([1, 2]), indices=np.array([0, 0]))
+
+    def test_direct_constructor_validates_last_offset(self):
+        with pytest.raises(ValueError, match=r"indptr\[-1\]"):
+            Csr(indptr=np.array([0, 1]), indices=np.array([0, 0]))
+
+    def test_arrays_are_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 2
+        with pytest.raises(ValueError):
+            triangle.indptr[0] = 1
+
+
+class TestAccessors:
+    def test_degrees(self, triangle):
+        assert list(triangle.out_degrees()) == [2, 2, 2]
+        assert triangle.degree(0) == 2
+
+    def test_in_degrees_symmetric_graph(self, triangle):
+        assert np.array_equal(triangle.in_degrees(), triangle.out_degrees())
+
+    def test_in_degrees_directed(self):
+        g = from_edges(3, [(0, 1), (2, 1)])
+        assert list(g.in_degrees()) == [0, 2, 0]
+
+    def test_len_is_vertex_count(self, triangle):
+        assert len(triangle) == 3
+
+    def test_frontier_edges(self, star50):
+        assert star50.frontier_edges([0]) == 49
+        assert star50.frontier_edges([1, 2]) == 2
+        assert star50.frontier_edges([]) == 0
+
+    def test_gather_neighbors_flattens_in_order(self):
+        g = from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        src, dst = g.gather_neighbors(np.array([0, 2]))
+        assert list(src) == [0, 0, 2]
+        assert list(dst) == [1, 2, 3]
+
+    def test_gather_neighbors_empty_frontier(self, triangle):
+        src, dst = triangle.gather_neighbors(np.array([], dtype=np.int64))
+        assert src.size == 0 and dst.size == 0
+
+    def test_gather_neighbors_isolated_vertices(self):
+        g = from_edges(3, [(0, 1)])
+        src, dst = g.gather_neighbors(np.array([1, 2]))
+        assert src.size == 0 and dst.size == 0
+
+    def test_edge_array_matches_edges_iterator(self, grid5x4):
+        arr = grid5x4.edge_array()
+        it = np.array(list(grid5x4.edges()))
+        assert np.array_equal(arr, it)
+
+
+class TestTransformations:
+    def test_transpose_reverses_edges(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        t = g.transpose()
+        assert list(t.neighbors(1)) == [0]
+        assert list(t.neighbors(2)) == [1]
+        assert t.num_edges == g.num_edges
+
+    def test_transpose_involution(self, small_rmat):
+        tt = small_rmat.transpose().transpose()
+        assert np.array_equal(tt.indptr, small_rmat.indptr)
+        assert np.array_equal(tt.indices, small_rmat.indices)
+
+    def test_symmetrize(self):
+        g = from_edges(3, [(0, 1)])
+        s = g.symmetrize()
+        assert s.is_symmetric()
+        assert s.num_edges == 2
+
+    def test_symmetrize_idempotent_on_symmetric(self, triangle):
+        s = triangle.symmetrize()
+        assert s.num_edges == triangle.num_edges
+
+    def test_remove_self_loops(self):
+        g = from_edges(2, [(0, 0), (0, 1)])
+        clean = g.remove_self_loops()
+        assert clean.num_edges == 1
+
+    def test_subgraph_relabels_preserving_order(self):
+        g = from_edges(5, [(1, 3), (3, 4), (1, 4), (0, 2)])
+        sub = g.subgraph([1, 3, 4])
+        # 1->0, 3->1, 4->2
+        assert sub.num_vertices == 3
+        assert list(sub.neighbors(0)) == [1, 2]
+        assert list(sub.neighbors(1)) == [2]
+
+    def test_subgraph_drops_external_edges(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([0, 1])
+        assert sub.num_edges == 1
+
+    def test_with_name(self, triangle):
+        renamed = triangle.with_name("tri2")
+        assert renamed.name == "tri2"
+        assert np.array_equal(renamed.indices, triangle.indices)
+
+
+class TestChecks:
+    def test_is_symmetric_true(self, triangle):
+        assert triangle.is_symmetric()
+
+    def test_is_symmetric_false(self):
+        assert not from_edges(2, [(0, 1)]).is_symmetric()
+
+    def test_has_sorted_neighbor_lists(self, grid5x4):
+        assert grid5x4.has_sorted_neighbor_lists()

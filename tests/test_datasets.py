@@ -1,0 +1,93 @@
+"""Unit tests for the five dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    MESH_KEYS,
+    SCALE_FREE_KEYS,
+    SIZES,
+    load_dataset,
+)
+from repro.graph.metrics import bfs_levels, compute_stats, degree_cv
+from repro.graph.permute import locality_score
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert len(DATASETS) == 5
+        assert set(SCALE_FREE_KEYS) | set(MESH_KEYS) == set(DATASETS)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            load_dataset("road_usa", "huge")
+
+    def test_sizes_monotone(self):
+        for key in DATASETS:
+            sizes = [load_dataset(key, s).num_vertices for s in SIZES]
+            assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestStructuralAxes:
+    """The stand-ins must preserve the two axes the paper's analysis uses."""
+
+    @pytest.mark.parametrize("key", SCALE_FREE_KEYS)
+    def test_scale_free_have_high_degree_variance(self, key):
+        g = load_dataset(key, "small")
+        assert degree_cv(g) > 0.5
+        assert compute_stats(g).graph_type == "scale-free"
+
+    @pytest.mark.parametrize("key", MESH_KEYS)
+    def test_meshes_have_low_degree_and_high_diameter(self, key):
+        g = load_dataset(key, "small")
+        stats = compute_stats(g)
+        assert stats.graph_type == "mesh-like"
+        assert stats.max_out_degree <= 8
+        assert stats.diameter > 30  # many BSP iterations -> small frontiers
+
+    def test_scale_free_have_low_diameter(self):
+        for key in SCALE_FREE_KEYS:
+            assert compute_stats(load_dataset(key, "small")).diameter <= 12
+
+    @pytest.mark.parametrize("key", SCALE_FREE_KEYS)
+    def test_scale_free_have_id_locality(self, key):
+        """Crawl-order ids: the Section 6.3 'close ids are neighbors'
+        property must be present (and destroyable by permutation)."""
+        from repro.graph.permute import permute_vertices
+
+        g = load_dataset(key, "small")
+        assert locality_score(g) > 1.5 * locality_score(permute_vertices(g, seed=9))
+
+    def test_hollywood_is_densest(self):
+        degs = {
+            key: load_dataset(key, "small").out_degrees().mean()
+            for key in SCALE_FREE_KEYS
+        }
+        assert degs["hollywood-2009"] == max(degs.values())
+
+    def test_indochina_most_skewed(self):
+        lj = compute_stats(load_dataset("soc-LiveJournal1", "small"))
+        indo = compute_stats(load_dataset("indochina-2004", "small"))
+        assert indo.max_in_degree / indo.avg_degree > lj.max_in_degree / lj.avg_degree
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("key", sorted(DATASETS))
+    def test_loads_are_deterministic(self, key):
+        a = load_dataset(key, "tiny")
+        b = load_dataset(key, "tiny")
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    @pytest.mark.parametrize("key", sorted(DATASETS))
+    def test_reachable_from_vertex_zero(self, key):
+        """All apps traverse from vertex 0 by default; the bulk of the
+        graph must be reachable for the benchmarks to be meaningful."""
+        g = load_dataset(key, "tiny")
+        depth = bfs_levels(g, 0)
+        assert (depth >= 0).mean() > 0.5

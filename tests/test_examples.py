@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public contract (deliverable b); each one is run
+in-process with its module namespace so assertion failures inside the
+examples surface as test failures here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    """The documented examples all exist."""
+    for name in (
+        "quickstart.py",
+        "road_navigation.py",
+        "web_ranking.py",
+        "register_allocation.py",
+        "design_space.py",
+        "task_pipeline.py",
+        "network_analysis.py",
+    ):
+        assert name in ALL_EXAMPLES, name
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates what it did

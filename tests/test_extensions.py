@@ -1,0 +1,170 @@
+"""Tests for builder, calibration, frontier analysis, and the shape report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.frontier import (
+    frontier_series,
+    saturation_point,
+    throughput_vs_frontier,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import grid_mesh, path_graph, rmat, star_graph
+from repro.harness.paper_data import (
+    PAPER_PERMUTATION,
+    PAPER_TABLE1,
+    PAPER_TABLE4,
+    table1_speedup,
+    table4_ratio,
+)
+from repro.harness.report import CellVerdict, compare_table1, shape_report
+from repro.harness.runner import Lab
+from repro.sim.calibration import calibrate
+from repro.sim.spec import FULL_V100_SPEC, V100_SPEC, GpuSpec
+
+SPEC = GpuSpec(num_sms=2, mem_edges_per_ns=0.2)
+
+
+class TestGraphBuilder:
+    def test_single_edges(self):
+        g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edges == 2
+        assert list(g.neighbors(0)) == [1]
+
+    def test_undirected(self):
+        g = GraphBuilder(2).add_undirected(0, 1).build()
+        assert g.is_symmetric()
+
+    def test_batch(self):
+        g = GraphBuilder(4).add_edges(np.array([[0, 1], [2, 3]])).build()
+        assert g.num_edges == 2
+
+    def test_chunk_rollover(self):
+        b = GraphBuilder(10)
+        for i in range(200_000):
+            b.add_edge(i % 10, (i + 1) % 10)
+        g = b.build(dedup=False)
+        assert g.num_edges == 200_000
+
+    def test_dedup_on_build(self):
+        g = GraphBuilder(2).add_edge(0, 1).add_edge(0, 1).build()
+        assert g.num_edges == 1
+
+    def test_matches_from_edges(self):
+        r = rmat(6, edge_factor=4, seed=5)
+        b = GraphBuilder(r.num_vertices).add_edges(r.edge_array()).build()
+        assert np.array_equal(b.indptr, r.indptr)
+        assert np.array_equal(b.indices, r.indices)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(2).add_edge(0, 2)
+        with pytest.raises(ValueError):
+            GraphBuilder(2).add_edges(np.array([[0, 5]]))
+
+    def test_empty_build(self):
+        g = GraphBuilder(3).build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder(3).add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+
+
+class TestCalibration:
+    def test_report_fields(self):
+        rep = calibrate(V100_SPEC)
+        assert rep.spec_name == V100_SPEC.name
+        # saturated rate approaches the configured bandwidth
+        assert rep.bsp_edge_rate == pytest.approx(V100_SPEC.mem_edges_per_ns, rel=0.05)
+        assert rep.bsp_iteration_floor_ns > V100_SPEC.kernel_launch_ns
+        assert rep.warp_worker_slots > rep.cta_worker_slots
+        assert rep.warp_task_latency_ns > 0
+
+    def test_saturation_stretches_tasks(self):
+        rep = calibrate(V100_SPEC)
+        assert rep.saturation_stretch > 2.0
+
+    def test_full_machine_has_more_workers(self):
+        small = calibrate(V100_SPEC)
+        big = calibrate(FULL_V100_SPEC)
+        assert big.warp_worker_slots == 10 * small.warp_worker_slots
+
+
+class TestFrontierAnalysis:
+    def test_series_covers_all_levels(self):
+        g = path_graph(15)
+        samples = frontier_series(g, spec=SPEC)
+        assert len(samples) >= 14
+        assert all(s.frontier_size == 1 for s in samples)
+
+    def test_star_has_one_big_frontier(self):
+        samples = frontier_series(star_graph(100), spec=SPEC)
+        assert samples[1].frontier_size == 99
+
+    def test_throughput_grows_with_frontier(self):
+        g = rmat(9, edge_factor=8, seed=2)
+        curve = throughput_vs_frontier(frontier_series(g, spec=SPEC))
+        assert len(curve) >= 2
+        # largest frontier bin at least as fast as the smallest
+        assert curve[-1][1] >= curve[0][1]
+
+    def test_saturation_point_exists_on_scale_free(self):
+        g = rmat(9, edge_factor=8, seed=2)
+        point = saturation_point(frontier_series(g, spec=SPEC))
+        assert point is not None and point > 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            throughput_vs_frontier([], bins=0)
+        with pytest.raises(ValueError):
+            saturation_point([], fraction=0.0)
+        assert saturation_point([]) is None
+
+
+class TestPaperData:
+    def test_full_matrix_present(self):
+        for app, datasets in PAPER_TABLE1.items():
+            assert len(datasets) == 5, app
+        for app, datasets in PAPER_TABLE4.items():
+            assert len(datasets) == 5, app
+        assert len(PAPER_PERMUTATION) == 3
+
+    def test_speedups_consistent_with_runtimes(self):
+        """speedup == BSP_ms / impl_ms to the table's rounding."""
+        for app, datasets in PAPER_TABLE1.items():
+            for ds, cells in datasets.items():
+                bsp = cells["BSP"]
+                for impl, cell in cells.items():
+                    if impl == "BSP":
+                        continue
+                    implied = bsp / cell.runtime_ms
+                    assert implied == pytest.approx(cell.speedup, rel=0.08), (app, ds, impl)
+
+    def test_lookups(self):
+        assert table1_speedup("bfs", "road_usa", "persist-CTA") == 12.8
+        assert table4_ratio("coloring", "hollywood-2009", "discrete-warp") == 37.34
+        with pytest.raises(KeyError):
+            table1_speedup("bfs", "road_usa", "BSP")
+
+
+class TestShapeReport:
+    def test_judge(self):
+        assert CellVerdict.judge(2.0, 1.8) == "match"
+        assert CellVerdict.judge(12.8, 3.0) == "direction"
+        assert CellVerdict.judge(0.68, 0.9) == "match"
+        assert CellVerdict.judge(2.5, 0.4) == "miss"
+        assert CellVerdict.judge(1.05, 0.96) == "direction"  # near-tie
+
+    def test_report_generates(self):
+        lab = Lab(size="tiny", spec=SPEC)
+        verdicts = compare_table1(lab, "bfs")
+        assert len(verdicts) == 15  # 5 datasets x 3 variants
+        report = shape_report(lab, apps=("bfs",))
+        assert "shape verdict" in report
+        assert "Table 1 speedups" in report

@@ -1,0 +1,155 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    bipartite_graph,
+    complete_graph,
+    erdos_renyi,
+    grid_mesh,
+    path_graph,
+    rmat,
+    road_network,
+    star_graph,
+)
+from repro.graph.metrics import bfs_levels, degree_cv
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = rmat(7, edge_factor=4, seed=1)
+        assert g.num_vertices == 128
+
+    def test_deterministic_for_seed(self):
+        a = rmat(7, edge_factor=4, seed=5)
+        b = rmat(7, edge_factor=4, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_different_seeds_differ(self):
+        a = rmat(8, edge_factor=4, seed=1)
+        b = rmat(8, edge_factor=4, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_symmetric_by_default(self):
+        assert rmat(6, edge_factor=4, seed=1).is_symmetric()
+
+    def test_no_self_loops(self):
+        g = rmat(7, edge_factor=8, seed=3)
+        edges = g.edge_array()
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_heavy_tailed_degrees(self):
+        g = rmat(10, edge_factor=8, seed=1)
+        assert degree_cv(g) > 1.0  # scale-free signature
+
+    def test_skewed_parameters_increase_relative_skew(self):
+        mild = rmat(10, edge_factor=8, seed=1)
+        skewed = rmat(10, edge_factor=8, a=0.7, b=0.12, c=0.12, seed=1)
+        rel = lambda g: g.out_degrees().max() / g.out_degrees().mean()
+        assert rel(skewed) > rel(mild)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.4, c=0.4)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(-1)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_symmetry(self):
+        g = barabasi_albert(100, attach=3, seed=0)
+        assert g.num_vertices == 100
+        assert g.is_symmetric()
+
+    def test_minimum_degree(self):
+        g = barabasi_albert(100, attach=3, seed=0)
+        # every non-seed vertex attached to >= 1 target
+        assert g.out_degrees()[3:].min() >= 1
+
+    def test_hubs_emerge(self):
+        g = barabasi_albert(500, attach=4, seed=1)
+        assert g.out_degrees().max() > 4 * g.out_degrees().mean()
+
+    def test_deterministic(self):
+        a = barabasi_albert(120, attach=4, seed=9)
+        b = barabasi_albert(120, attach=4, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(1)
+
+
+class TestMeshes:
+    def test_grid_shape(self):
+        g = grid_mesh(3, 4)
+        assert g.num_vertices == 12
+        # interior vertex has 4 neighbors, corner has 2
+        assert g.degree(5) == 4
+        assert g.degree(0) == 2
+
+    def test_grid_symmetric(self):
+        assert grid_mesh(5, 5).is_symmetric()
+
+    def test_grid_diagonal_adds_neighbors(self):
+        g = grid_mesh(3, 3, diagonal=True)
+        assert g.degree(4) == 8  # center of 3x3
+
+    def test_grid_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_mesh(0, 5)
+
+    def test_road_network_connected(self):
+        g = road_network(20, 20, seed=3)
+        depth = bfs_levels(g, 0)
+        assert (depth >= 0).all()
+
+    def test_road_network_low_degree(self):
+        g = road_network(20, 20, seed=3)
+        assert g.out_degrees().max() <= 8
+        assert degree_cv(g) < 0.5
+
+    def test_road_network_deterministic(self):
+        a = road_network(15, 15, seed=2)
+        b = road_network(15, 15, seed=2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_road_network_symmetric(self):
+        assert road_network(12, 12, seed=1).is_symmetric()
+
+
+class TestSimpleShapes:
+    def test_star(self):
+        g = star_graph(10)
+        assert g.degree(0) == 9
+        assert g.degree(5) == 1
+        assert g.is_symmetric()
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+        depth = bfs_levels(g, 0)
+        assert depth[4] == 4
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 30
+        assert np.all(g.out_degrees() == 5)
+
+    def test_bipartite_two_colorable_structure(self):
+        g = bipartite_graph(3, 4)
+        assert g.num_vertices == 7
+        # left vertices only connect to right
+        for v in range(3):
+            assert (g.neighbors(v) >= 3).all()
+
+    def test_erdos_renyi_degree_close_to_target(self):
+        g = erdos_renyi(2000, avg_degree=6, seed=0)
+        # symmetric doubling minus dedup/self-loop losses
+        assert 8 < g.out_degrees().mean() < 13

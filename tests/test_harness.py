@@ -1,0 +1,134 @@
+"""Tests for the Lab experiment runner (uses tiny datasets throughout)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import ALL_DATASETS, EXPERIMENTS, TABLE1_IMPLS
+from repro.harness.runner import Lab
+from repro.sim.spec import GpuSpec
+
+SPEC = GpuSpec(num_sms=2, mem_edges_per_ns=0.2)
+TWO = ("soc-LiveJournal1", "roadNet-CA")
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(size="tiny", spec=SPEC)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        keys = set(EXPERIMENTS)
+        for expected in (
+            "table1", "table2", "table3", "table4",
+            "fig1", "fig2", "fig3", "fig4",
+            "permute-gc", "kernel-strategy",
+        ):
+            assert expected in keys
+
+    def test_entries_reference_real_benches(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.bench.startswith("benchmarks/")
+
+    def test_table1_matrix(self):
+        assert TABLE1_IMPLS["coloring"][-1] == "discrete-warp"
+        assert TABLE1_IMPLS["bfs"][-1] == "discrete-CTA"
+
+    def test_five_datasets(self):
+        assert len(ALL_DATASETS) == 5
+
+
+class TestLab:
+    def test_run_caches(self, lab):
+        a = lab.run("bfs", "roadNet-CA", "BSP")
+        b = lab.run("bfs", "roadNet-CA", "BSP")
+        assert a is b
+
+    def test_unknown_app(self, lab):
+        with pytest.raises(KeyError, match="unknown app"):
+            lab.run("sssp", "roadNet-CA", "BSP")
+
+    def test_unknown_impl(self, lab):
+        with pytest.raises(KeyError, match="unknown implementation"):
+            lab.run("bfs", "roadNet-CA", "warp-speed")
+
+    def test_graph_cache_and_permutation(self, lab):
+        g = lab.graph("roadNet-CA")
+        gp = lab.graph("roadNet-CA", permuted=True)
+        assert g.num_edges == gp.num_edges
+        assert lab.graph("roadNet-CA") is g
+
+    def test_table1_rows(self, lab):
+        rows = lab.table1("bfs", TWO)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.bsp_ms > 0
+            assert set(row.speedups) == set(TABLE1_IMPLS["bfs"][1:])
+            for ms in row.atos_ms.values():
+                assert ms > 0
+
+    def test_format_table1(self, lab):
+        out = lab.format_table1("bfs", TWO)
+        assert "Table 1" in out
+        assert "persist-warp" in out
+        assert "x" in out
+
+    def test_table2(self, lab):
+        stats = lab.table2(TWO)
+        assert len(stats) == 2
+        assert stats[0].graph_type == "scale-free"
+        assert stats[1].graph_type == "mesh-like"
+        assert "Paper(V/E/diam)" in lab.format_table2(TWO)
+
+    def test_table3(self, lab):
+        reports = lab.table3(TWO)
+        assert len(reports) == 6  # 3 apps x 2 datasets
+        out = lab.format_table3(TWO)
+        assert "scale-free" in out and "mesh-like" in out
+
+    def test_table4_bfs_ratios_at_least_one(self, lab):
+        rows = lab.table4("bfs", TWO)
+        for row in rows:
+            for impl, ratio in row.items():
+                if impl != "dataset":
+                    assert ratio >= 0.99
+
+    def test_table4_coloring_includes_bsp(self, lab):
+        rows = lab.table4("coloring", ("roadNet-CA",))
+        assert "BSP" in rows[0]
+        assert rows[0]["BSP"] >= 1.0
+
+    def test_figure_curves_aligned(self, lab):
+        curves = lab.figure("bfs", "roadNet-CA", bins=20)
+        assert len(curves) == 4
+        n_bins = {series.times.size for _, series in curves}
+        assert n_bins == {20}
+
+    def test_format_figure(self, lab):
+        out = lab.format_figure("bfs", "roadNet-CA", bins=20)
+        assert "Figure 1" in out
+        assert "BSP" in out
+
+    def test_sweep_triangle(self, lab):
+        grid = lab.sweep(
+            "bfs", "roadNet-CA", worker_sizes=(32, 64), fetch_sizes=(1, 64)
+        )
+        assert grid.shape == (2, 2)
+        assert np.isnan(grid[0, 1])  # fetch 64 > worker 32
+        assert not np.isnan(grid[1, 1])
+        assert (grid[~np.isnan(grid)] > 0).all()
+
+    def test_format_sweep(self, lab):
+        out = lab.format_sweep(
+            "bfs", "roadNet-CA", worker_sizes=(32, 64), fetch_sizes=(1, 64)
+        )
+        assert "Figure 4" in out
+        assert "-" in out  # invalid triangle cell
+
+    def test_permutation_study(self, lab):
+        rows = lab.permutation_study(("soc-LiveJournal1",))
+        assert len(rows) == 1
+        before, after = rows[0]["discrete-warp"]
+        assert before > 0 and after > 0
+        out = lab.format_permutation_study(("soc-LiveJournal1",))
+        assert "->" in out

@@ -1,0 +1,82 @@
+"""Unit tests for graph I/O round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import from_edges
+from repro.graph.generators import rmat
+from repro.graph.io import load_edge_list, load_mtx, save_edge_list, save_mtx
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, small_rmat):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_rmat, path)
+        loaded = load_edge_list(path)
+        assert np.array_equal(loaded.indptr, small_rmat.indptr)
+        assert np.array_equal(loaded.indices, small_rmat.indices)
+
+    def test_round_trip_preserves_trailing_isolated_vertices(self, tmp_path):
+        g = from_edges(6, [(0, 1)])  # vertices 2..5 isolated
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_vertices == 6
+
+    def test_headerless_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 3\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+
+    def test_explicit_vertex_count_wins(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path, num_vertices=10).num_vertices == 10
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# snap-style comment\n\n0 1\n# another\n1 0\n")
+        assert load_edge_list(path).num_edges == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestMtx:
+    def test_round_trip(self, tmp_path, small_rmat):
+        path = tmp_path / "g.mtx"
+        save_mtx(small_rmat, path)
+        loaded = load_mtx(path)
+        assert loaded.num_edges == small_rmat.num_edges
+        assert np.array_equal(loaded.indices, small_rmat.indices)
+
+    def test_one_indexed(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n"
+        )
+        g = load_mtx(path)
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(2)) == [0]
+
+    def test_weights_ignored(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.5\n"
+        )
+        assert load_mtx(path).num_edges == 1
+
+    def test_not_mtx_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            load_mtx(path)
+
+    def test_missing_dims_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n")
+        with pytest.raises(ValueError, match="dimension"):
+            load_mtx(path)

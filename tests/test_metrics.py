@@ -1,0 +1,104 @@
+"""Unit tests for graph metrics (Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph.csr import from_edges
+from repro.graph.generators import grid_mesh, path_graph, rmat, star_graph
+from repro.graph.metrics import (
+    GraphStats,
+    bfs_levels,
+    compute_stats,
+    degree_cv,
+    pseudo_diameter,
+)
+
+
+class TestBfsLevels:
+    def test_path_levels(self):
+        depth = bfs_levels(path_graph(6), 0)
+        assert list(depth) == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_marked(self):
+        g = from_edges(3, [(0, 1), (1, 0)])
+        depth = bfs_levels(g, 0)
+        assert depth[2] == -1
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_matches_networkx(self):
+        g = rmat(7, edge_factor=4, seed=11)
+        nxg = nx.from_edgelist(g.edge_array().tolist(), create_using=nx.DiGraph)
+        src = int(np.argmax(g.out_degrees()))
+        ref = nx.single_source_shortest_path_length(nxg, src)
+        depth = bfs_levels(g, src)
+        for v in range(g.num_vertices):
+            assert depth[v] == ref.get(v, -1)
+
+
+class TestPseudoDiameter:
+    def test_path_exact(self):
+        assert pseudo_diameter(path_graph(20)) == 19
+
+    def test_star_is_two(self):
+        assert pseudo_diameter(star_graph(30)) == 2
+
+    def test_grid_lower_bound_and_exactness(self):
+        # pseudo-diameter is a lower bound; on grids double-sweep is exact
+        assert pseudo_diameter(grid_mesh(6, 9)) == 6 + 9 - 2
+
+    def test_empty_graph(self):
+        assert pseudo_diameter(from_edges(0, [])) == 0
+
+    def test_all_isolated(self):
+        assert pseudo_diameter(from_edges(4, [])) == 0
+
+    def test_ignores_isolated_vertices(self):
+        # path 0-1-2 plus isolated 3, 4: the sweep must not start at 3/4
+        g = from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert pseudo_diameter(g, seed=0) == 2
+
+    def test_deterministic(self):
+        g = rmat(8, edge_factor=4, seed=2)
+        assert pseudo_diameter(g, seed=3) == pseudo_diameter(g, seed=3)
+
+
+class TestDegreeCv:
+    def test_regular_graph_zero(self):
+        assert degree_cv(grid_mesh(10, 10)) < 0.3
+
+    def test_star_high(self):
+        assert degree_cv(star_graph(100)) > 2.0
+
+    def test_empty(self):
+        assert degree_cv(from_edges(0, [])) == 0.0
+
+    def test_no_edges(self):
+        assert degree_cv(from_edges(5, [])) == 0.0
+
+
+class TestComputeStats:
+    def test_scale_free_classification(self):
+        stats = compute_stats(rmat(9, edge_factor=8, seed=1, name="r"))
+        assert isinstance(stats, GraphStats)
+        assert stats.graph_type == "scale-free"
+
+    def test_mesh_classification(self):
+        stats = compute_stats(grid_mesh(12, 12, name="g"))
+        assert stats.graph_type == "mesh-like"
+
+    def test_row_shape(self):
+        stats = compute_stats(grid_mesh(4, 4, name="g"))
+        row = stats.row()
+        assert row[0] == "g"
+        assert row[1] == 16
+
+    def test_degree_fields(self):
+        stats = compute_stats(star_graph(10, name="s"))
+        assert stats.max_out_degree == 9
+        assert stats.max_in_degree == 9
+        assert stats.avg_degree == pytest.approx(18 / 10)

@@ -1,0 +1,109 @@
+"""Unit tests for vertex-id permutation (Section 6.3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import from_edges
+from repro.graph.generators import grid_mesh, path_graph, rmat
+from repro.graph.metrics import bfs_levels, compute_stats
+from repro.graph.permute import (
+    block_shuffle_permutation,
+    crawl_order_relabel,
+    locality_score,
+    permute_vertices,
+    random_permutation,
+)
+
+
+class TestRandomPermutation:
+    def test_is_bijection(self):
+        p = random_permutation(100, seed=1)
+        assert sorted(p) == list(range(100))
+
+    def test_deterministic(self):
+        assert np.array_equal(random_permutation(50, seed=2), random_permutation(50, seed=2))
+
+
+class TestPermuteVertices:
+    def test_structure_preserved(self):
+        g = rmat(7, edge_factor=4, seed=1)
+        pg = permute_vertices(g, seed=5)
+        assert pg.num_vertices == g.num_vertices
+        assert pg.num_edges == g.num_edges
+        s1 = compute_stats(g)
+        s2 = compute_stats(pg)
+        assert s1.max_out_degree == s2.max_out_degree
+        assert sorted(g.out_degrees()) == sorted(pg.out_degrees())
+
+    def test_explicit_permutation_applied(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        pg = permute_vertices(g, np.array([2, 1, 0]))
+        assert list(pg.neighbors(2)) == [1]
+        assert list(pg.neighbors(1)) == [0]
+
+    def test_non_bijection_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="bijection"):
+            permute_vertices(g, np.array([0, 0, 1, 2]))
+
+    def test_wrong_shape_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="shape"):
+            permute_vertices(g, np.array([0, 1, 2]))
+
+    def test_bfs_depths_permute_consistently(self):
+        g = grid_mesh(5, 5)
+        p = random_permutation(g.num_vertices, seed=3)
+        pg = permute_vertices(g, p)
+        d1 = bfs_levels(g, 0)
+        d2 = bfs_levels(pg, int(p[0]))
+        assert np.array_equal(d2[p], d1)
+
+
+class TestBlockShuffle:
+    def test_stays_within_blocks(self):
+        p = block_shuffle_permutation(100, 10, seed=1)
+        for v in range(100):
+            assert p[v] // 10 == v // 10
+
+    def test_is_bijection(self):
+        p = block_shuffle_permutation(77, 16, seed=2)
+        assert sorted(p) == list(range(77))
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            block_shuffle_permutation(10, 0)
+
+
+class TestCrawlOrder:
+    def test_preserves_structure(self):
+        g = rmat(7, edge_factor=6, seed=2, name="x")
+        cg = crawl_order_relabel(g)
+        assert cg.num_edges == g.num_edges
+        assert cg.name == g.name
+
+    def test_increases_locality_on_scale_free(self):
+        g = rmat(9, edge_factor=8, seed=2)
+        # R-MAT ids are structural, crawl order concentrates neighbors
+        assert locality_score(crawl_order_relabel(g)) > locality_score(permute_vertices(g, seed=1))
+
+    def test_handles_disconnected(self):
+        g = from_edges(5, [(0, 1), (1, 0)])  # 2, 3, 4 isolated
+        cg = crawl_order_relabel(g)
+        assert cg.num_vertices == 5
+
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        assert crawl_order_relabel(g).num_vertices == 0
+
+
+class TestLocalityScore:
+    def test_grid_is_local(self):
+        assert locality_score(grid_mesh(30, 30)) > 0.4
+
+    def test_permutation_destroys_locality(self):
+        g = grid_mesh(40, 40)
+        assert locality_score(permute_vertices(g, seed=0)) < 0.1
+
+    def test_empty(self):
+        assert locality_score(from_edges(3, [])) == 0.0

@@ -1,0 +1,150 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import from_edges
+from repro.graph.metrics import bfs_levels, pseudo_diameter
+from repro.graph.permute import permute_vertices, random_permutation
+
+# strategy: a vertex count and an edge list over it
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=200):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_preserves_edge_set(ne):
+    n, edges = ne
+    g = from_edges(n, edges)
+    rebuilt = set(map(tuple, g.edge_array().tolist()))
+    assert rebuilt == set(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_equals_edge_count(ne):
+    n, edges = ne
+    g = from_edges(n, edges)
+    assert int(g.out_degrees().sum()) == g.num_edges
+    assert int(g.in_degrees().sum()) == g.num_edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_gather_neighbors_consistent_with_neighbor_lists(ne):
+    n, edges = ne
+    g = from_edges(n, edges)
+    frontier = np.arange(n, dtype=np.int64)
+    src, dst = g.gather_neighbors(frontier)
+    assert src.size == g.num_edges
+    # each (src, dst) pair must be a real edge
+    for s, d in zip(src.tolist(), dst.tolist()):
+        assert d in g.neighbors(s)
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=60, deadline=None)
+def test_bfs_depths_are_valid_distances(ne, seed):
+    """Triangle inequality along every edge + source at zero."""
+    n, edges = ne
+    g = from_edges(n, edges)
+    src = seed % n
+    depth = bfs_levels(g, src)
+    assert depth[src] == 0
+    e = g.edge_array()
+    for u, v in e.tolist():
+        if depth[u] >= 0:
+            assert 0 <= depth[v] <= depth[u] + 1
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_permutation_preserves_structure(ne, seed):
+    n, edges = ne
+    g = from_edges(n, edges)
+    p = random_permutation(n, seed=seed)
+    pg = permute_vertices(g, p)
+    assert pg.num_edges == g.num_edges
+    assert sorted(pg.out_degrees().tolist()) == sorted(g.out_degrees().tolist())
+    # edge sets correspond under the permutation
+    orig = set(map(tuple, g.edge_array().tolist()))
+    mapped = {(int(p[u]), int(p[v])) for u, v in orig}
+    assert mapped == set(map(tuple, pg.edge_array().tolist()))
+
+
+@given(edge_lists())
+@settings(max_examples=30, deadline=None)
+def test_pseudo_diameter_bounded_by_vertices(ne):
+    n, edges = ne
+    g = from_edges(n, edges)
+    assert 0 <= pseudo_diameter(g) < max(n, 1)
+
+
+@given(edge_lists())
+@settings(max_examples=30, deadline=None)
+def test_transpose_preserves_degree_multiset_swapped(ne):
+    n, edges = ne
+    g = from_edges(n, edges)
+    t = g.transpose()
+    assert np.array_equal(t.out_degrees(), g.in_degrees())
+    assert np.array_equal(t.in_degrees(), g.out_degrees())
+
+
+@given(
+    st.lists(st.integers(-3, 30), min_size=1, max_size=12),
+    st.lists(st.integers(-3, 30), max_size=30),
+)
+@settings(max_examples=80, deadline=None)
+def test_csr_constructor_never_accepts_invalid_arrays(indptr, indices):
+    """Fuzz the raw constructor: it must either raise ValueError or yield a
+    structurally valid graph — never a silently corrupt one."""
+    from repro.graph.csr import Csr
+
+    try:
+        g = Csr(
+            indptr=np.asarray(indptr, dtype=np.int64),
+            indices=np.asarray(indices, dtype=np.int64),
+        )
+    except ValueError:
+        return
+    # accepted: all invariants must hold
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.num_edges
+    assert np.all(np.diff(g.indptr) >= 0)
+    if g.num_edges:
+        assert g.indices.min() >= 0
+        assert g.indices.max() < g.num_vertices
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_io_round_trip_any_graph(ne):
+    """Edge-list serialization is lossless for arbitrary graphs."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.graph.io import load_edge_list, save_edge_list
+
+    n, edges = ne
+    g = from_edges(n, edges)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+    assert loaded.num_vertices == g.num_vertices
+    assert np.array_equal(loaded.indptr, g.indptr)
+    assert np.array_equal(loaded.indices, g.indices)

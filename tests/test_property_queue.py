@@ -1,0 +1,98 @@
+"""Property-based tests for the queue substrate and bandwidth server."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.broker import QueueBroker
+from repro.queueing.mpmc import MpmcQueue
+from repro.sim.memory import BandwidthServer
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.lists(st.integers(0, 1000), max_size=8)),
+        st.tuples(st.just("pop"), st.integers(1, 8)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=80, deadline=None)
+def test_queue_behaves_like_fifo_model(sequence):
+    """The simulated queue must match a plain deque under any op sequence."""
+    q = MpmcQueue()
+    model: list[int] = []
+    now = 0.0
+    for kind, arg in sequence:
+        now += 1.0
+        if kind == "push":
+            q.push(np.asarray(arg, dtype=np.int64), now)
+            model.extend(arg)
+        else:
+            got, _ = q.pop(arg, now)
+            expect = model[: min(arg, len(model))]
+            del model[: len(expect)]
+            assert got.tolist() == expect
+    assert q.size == len(model)
+
+
+@given(ops, st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_broker_conserves_items(sequence, num_queues):
+    """No item is lost or duplicated across any push/pop interleaving."""
+    b = QueueBroker(num_queues)
+    pushed: list[int] = []
+    popped: list[int] = []
+    now = 0.0
+    for kind, arg in sequence:
+        now += 1.0
+        if kind == "push":
+            b.push(np.asarray(arg, dtype=np.int64), now)
+            pushed.extend(arg)
+        else:
+            got, _ = b.pop(arg, now, home=len(popped))
+            popped.extend(got.tolist())
+    popped.extend(b.drain().tolist())
+    assert sorted(popped) == sorted(pushed)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_queue_timing_is_monotone_per_counter(sequence):
+    """Atomic completion times never go backwards on a counter."""
+    q = MpmcQueue(atomic_ns=3.0)
+    last_pop = 0.0
+    last_push = 0.0
+    now = 0.0
+    for kind, arg in sequence:
+        now += 0.5
+        if kind == "push":
+            if arg:
+                t = q.push(np.asarray(arg, dtype=np.int64), now)
+                assert t >= last_push
+                last_push = t
+        else:
+            _, t = q.pop(arg, now)
+            assert t >= last_pop
+            last_pop = t
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1e6), st.floats(0, 1e4)),
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_bandwidth_server_invariants(reservations):
+    """Completion at least now + service; free_at monotone; totals add up."""
+    mem = BandwidthServer(2.0)
+    total = 0.0
+    prev_free = 0.0
+    for now, edges in reservations:
+        done = mem.reserve(now, edges)
+        assert done >= now + edges / 2.0 - 1e-9
+        assert mem.free_at >= prev_free
+        prev_free = mem.free_at
+        total += edges
+    assert mem.total_edges == total

@@ -1,0 +1,87 @@
+"""TaskKernel protocol conformance and AppResult plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import SpeculativeBfsKernel
+from repro.apps.cc import AsyncCcKernel
+from repro.apps.coloring import AsyncColoringKernel
+from repro.apps.common import AppResult
+from repro.apps.pagerank import AsyncPageRankKernel
+from repro.apps.sssp import SpeculativeSsspKernel, uniform_weights
+from repro.core.dag import Dag, DagKernel
+from repro.core.kernel import CompletionResult, TaskKernel
+from repro.graph.generators import grid_mesh
+from repro.sim.trace import ThroughputTrace
+
+
+def all_kernels():
+    g = grid_mesh(4, 4)
+    return [
+        SpeculativeBfsKernel(g, 0),
+        AsyncPageRankKernel(g),
+        AsyncColoringKernel(g),
+        SpeculativeSsspKernel(g, uniform_weights(g), 0),
+        AsyncCcKernel(g),
+        DagKernel(Dag.from_edges(3, [(0, 1), (1, 2)])),
+    ]
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: type(k).__name__)
+    def test_satisfies_protocol(self, kernel):
+        assert isinstance(kernel, TaskKernel)
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: type(k).__name__)
+    def test_initial_items_are_int64(self, kernel):
+        items = kernel.initial_items()
+        assert items.dtype == np.int64
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: type(k).__name__)
+    def test_work_estimate_shape(self, kernel):
+        items = kernel.initial_items()[:1]
+        edge_work, max_deg = kernel.work_estimate(items)
+        assert isinstance(edge_work, int) and isinstance(max_deg, int)
+        assert edge_work >= 0 and max_deg >= 0
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: type(k).__name__)
+    def test_read_complete_round(self, kernel):
+        items = kernel.initial_items()[:1]
+        payload = kernel.on_read(items, 0.0)
+        result = kernel.on_complete(items, payload, 1.0)
+        assert isinstance(result, CompletionResult)
+        assert result.new_items.dtype == np.int64
+        assert result.items_retired == 1
+
+
+class TestCompletionResult:
+    def test_defaults(self):
+        r = CompletionResult()
+        assert r.new_items.size == 0
+        assert r.items_retired == 0
+        assert r.work_units == 0.0
+
+
+class TestAppResult:
+    def _result(self, elapsed, work):
+        return AppResult(
+            app="x", impl="y", dataset="z",
+            elapsed_ns=elapsed, work_units=work, items_retired=1,
+            iterations=1, kernel_launches=1,
+            output=np.zeros(1), trace=ThroughputTrace(),
+        )
+
+    def test_elapsed_ms(self):
+        assert self._result(2e6, 1).elapsed_ms == 2.0
+
+    def test_speedup(self):
+        fast, slow = self._result(1e6, 1), self._result(4e6, 1)
+        assert fast.speedup_over(slow) == 4.0
+        with pytest.raises(ValueError):
+            self._result(0.0, 1).speedup_over(slow)
+
+    def test_workload_ratio(self):
+        r = self._result(1e6, 30.0)
+        assert r.workload_ratio(10.0) == 3.0
+        with pytest.raises(ValueError):
+            r.workload_ratio(0.0)

@@ -1,0 +1,107 @@
+"""Tests for the work-stealing worklist and its scheduler integration."""
+
+import numpy as np
+import pytest
+
+from repro.apps import bfs, coloring
+from repro.core.config import PERSIST_WARP, AtosConfig
+from repro.graph.generators import grid_mesh, rmat
+from repro.queueing.stealing import StealingWorklist
+from repro.sim.spec import GpuSpec
+
+SPEC = GpuSpec(num_sms=2, mem_edges_per_ns=0.2)
+
+STEAL_CFG = PERSIST_WARP.with_overrides(
+    worklist="stealing", num_queues=8, name="persist-warp-steal"
+)
+
+
+class TestStealingWorklist:
+    def test_push_goes_to_home(self):
+        wl = StealingWorklist(4)
+        wl.push(np.arange(5), home=2)
+        assert wl.deques[2].size == 5
+        assert wl.deques[0].size == 0
+
+    def test_pop_from_home_first(self):
+        wl = StealingWorklist(4)
+        wl.push(np.array([7]), home=1)
+        items, _ = wl.pop(4, home=1)
+        assert list(items) == [7]
+        assert wl.steals == 0
+
+    def test_steal_on_empty(self):
+        wl = StealingWorklist(4)
+        wl.push(np.arange(10), home=0)
+        items, _ = wl.pop(2, home=3)
+        assert items.size > 0
+        assert wl.steals == 1
+
+    def test_steal_takes_half_and_banks_surplus(self):
+        wl = StealingWorklist(2)
+        wl.push(np.arange(10), home=0)
+        items, _ = wl.pop(1, home=1)
+        assert items.size == 1
+        # half (5) were stolen; 4 banked into the thief's own deque
+        assert wl.deques[1].size == 4
+        assert wl.deques[0].size == 5
+
+    def test_steal_probe_costs_time(self):
+        wl = StealingWorklist(4, steal_probe_ns=100.0)
+        wl.push(np.array([1]), home=0)
+        _, t = wl.pop(1, now=0.0, home=2)
+        assert t >= 100.0  # at least one probe paid
+
+    def test_empty_everywhere(self):
+        wl = StealingWorklist(3)
+        items, _ = wl.pop(2, home=0)
+        assert items.size == 0
+        assert wl.failed_steals >= 1
+
+    def test_conservation(self):
+        wl = StealingWorklist(4, seed=7)
+        for h in range(4):
+            wl.push(np.arange(h * 100, h * 100 + 25), home=h)
+        got = []
+        worker = 0
+        while wl.size:
+            items, _ = wl.pop(7, home=worker)
+            got.extend(items.tolist())
+            worker = (worker + 1) % 4
+        assert sorted(got) == sorted(
+            list(range(0, 25)) + list(range(100, 125))
+            + list(range(200, 225)) + list(range(300, 325))
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            StealingWorklist(0)
+        with pytest.raises(ValueError):
+            StealingWorklist(2, steal_probe_ns=-1)
+        with pytest.raises(ValueError):
+            StealingWorklist(2).pop(0)
+
+
+class TestSchedulerIntegration:
+    def test_bfs_correct_under_stealing(self):
+        g = grid_mesh(8, 8)
+        res = bfs.run_atos(g, STEAL_CFG, spec=SPEC)
+        assert bfs.validate_depths(g, res.output)
+
+    def test_coloring_correct_under_stealing(self):
+        g = rmat(7, edge_factor=4, seed=2)
+        res = coloring.run_atos(g, STEAL_CFG, spec=SPEC)
+        assert coloring.validate_coloring(g, res.output)
+
+    def test_invalid_worklist_name_rejected(self):
+        with pytest.raises(ValueError, match="worklist"):
+            AtosConfig(worklist="magic")
+
+    def test_shared_vs_stealing_both_finish(self):
+        """The paper's claim direction at small scale: shared is at least
+        competitive (stealing pays probe costs on imbalanced startup)."""
+        g = rmat(8, edge_factor=6, seed=4)
+        shared = bfs.run_atos(g, PERSIST_WARP, spec=SPEC)
+        steal = bfs.run_atos(g, STEAL_CFG, spec=SPEC)
+        assert bfs.validate_depths(g, steal.output)
+        assert shared.elapsed_ns <= steal.elapsed_ns * 1.5
