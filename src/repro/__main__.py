@@ -12,8 +12,15 @@ Usage::
     python -m repro permute                  # the Section 6.3 study
     python -m repro report                   # paper-vs-measured verdicts
     python -m repro all                      # everything (slow)
+    python -m repro trace bfs roadnet_ca_sim --config persist-warp --out trace.json
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
+
+The ``trace`` subcommand runs one (app, dataset, config) cell with a
+:class:`repro.obs.Collector` attached, writes a Chrome ``trace_event``
+JSON file (load it at ``chrome://tracing`` or https://ui.perfetto.dev),
+and prints the ASCII time-sink profile.  Traces are deterministic: the
+same invocation always produces a byte-identical file.
 """
 
 from __future__ import annotations
@@ -43,7 +50,69 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_trace_parser() -> argparse.ArgumentParser:
+    from repro.harness.runner import _APPS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one scheduler configuration with observability attached; "
+            "write a Chrome trace_event JSON and print the time-sink profile."
+        ),
+    )
+    parser.add_argument("app", choices=sorted(_APPS))
+    parser.add_argument("dataset", help="dataset name or alias (e.g. roadnet_ca_sim)")
+    parser.add_argument(
+        "--config",
+        default="persist-warp",
+        help="named Atos variant (default: persist-warp)",
+    )
+    parser.add_argument("--out", default="trace.json", help="output trace path")
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    return parser
+
+
+def _run_trace(argv: list[str]) -> int:
+    from repro.core.config import variant_by_name
+    from repro.graph.datasets import resolve_dataset
+    from repro.obs import Collector, flat_metrics, format_profile, write_chrome_trace
+
+    args = _build_trace_parser().parse_args(argv)
+    config = variant_by_name(args.config)
+    dataset = resolve_dataset(args.dataset)
+    sink = Collector()
+    lab = Lab(size=args.size)
+    result = lab.run_config(args.app, dataset, config, sink=sink)
+    write_chrome_trace(sink, args.out)
+
+    print(
+        f"traced {args.app} on {dataset} [{config.name}] "
+        f"size={args.size}: {len(sink.events)} events -> {args.out}"
+    )
+    print(f"digest: {sink.digest()}")
+    metrics = flat_metrics(sink, elapsed_ns=result.elapsed_ns)
+    print(
+        "reconcile: "
+        f"tasks={metrics['tasks']} retired={metrics['items_retired']} "
+        f"empty_pops={metrics['empty_pops']} steals={metrics['steals']} "
+        f"final_queue_depth={metrics['final_queue_depth']}"
+    )
+    print()
+    print(
+        format_profile(
+            sink,
+            elapsed_ns=result.elapsed_ns,
+            worker_slots=result.extra.get("worker_slots"),
+            config_name=config.name,
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -133,10 +133,14 @@ def run_atos(
     source: int = 0,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink=None,
 ) -> AppResult:
-    """Speculative BFS under an Atos configuration."""
+    """Speculative BFS under an Atos configuration.
+
+    ``sink`` attaches an observability sink (see :mod:`repro.obs`).
+    """
     kernel = SpeculativeBfsKernel(graph, source)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
     return AppResult(
         app="bfs",
         impl=config.name,
@@ -154,6 +158,9 @@ def run_atos(
             "queue_contention_ns": res.queue_contention_ns,
             "total_tasks": res.total_tasks,
             "mem_utilization": res.mem_utilization,
+            "empty_pops": res.empty_pops,
+            "steals": res.steals,
+            "failed_steals": res.failed_steals,
         },
     )
 

@@ -104,10 +104,11 @@ def run_atos(
     *,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink=None,
 ) -> AppResult:
     """Asynchronous connected components under an Atos configuration."""
     kernel = AsyncCcKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
     return AppResult(
         app="cc",
         impl=config.name,

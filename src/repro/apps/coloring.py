@@ -185,6 +185,7 @@ def run_atos(
     *,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink=None,
 ) -> AppResult:
     """Asynchronous speculative coloring under an Atos configuration.
 
@@ -198,7 +199,7 @@ def run_atos(
         registers_per_thread=regs, shared_mem_per_cta=smem
     )
     kernel = AsyncColoringKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
     return AppResult(
         app="coloring",
         impl=config.name,

@@ -197,12 +197,13 @@ def run_atos(
     check_size: int = 64,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink=None,
 ) -> AppResult:
     """Asynchronous PageRank under an Atos configuration."""
     kernel = AsyncPageRankKernel(
         graph, lam=lam, epsilon=epsilon, check_size=check_size
     )
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
+    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
     return AppResult(
         app="pagerank",
         impl=config.name,

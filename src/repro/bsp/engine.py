@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.events import Barrier, EventSink, KernelLaunch
 from repro.sim.cost import bsp_kernel_time
 from repro.sim.spec import V100_SPEC, GpuSpec
 from repro.sim.trace import ThroughputTrace
@@ -27,6 +28,8 @@ class BspTimeline:
     iterations: int = 0
     kernel_launches: int = 0
     trace: ThroughputTrace = field(default_factory=ThroughputTrace)
+    #: optional observability sink (None = tracing off)
+    sink: EventSink | None = None
 
     def kernel(
         self,
@@ -45,6 +48,10 @@ class BspTimeline:
         throughput plots spiky for the baseline).
         """
         self.kernel_launches += 1
+        if self.sink is not None:
+            self.sink.emit(
+                KernelLaunch(t=self.now, duration_ns=self.spec.kernel_launch_ns)
+            )
         self.now += self.spec.kernel_launch_ns
         busy = bsp_kernel_time(
             self.spec,
@@ -59,6 +66,8 @@ class BspTimeline:
 
     def barrier(self) -> float:
         """Global synchronization between kernels."""
+        if self.sink is not None:
+            self.sink.emit(Barrier(t=self.now, duration_ns=self.spec.barrier_ns))
         self.now += self.spec.barrier_ns
         return self.now
 

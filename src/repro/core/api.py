@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.core.config import AtosConfig, KernelStrategy
 from repro.core.kernel import TaskKernel
 from repro.core.scheduler import RunResult, run
+from repro.obs.events import EventSink
 from repro.sim.spec import V100_SPEC, GpuSpec
 
 __all__ = ["Atos"]
@@ -38,6 +39,7 @@ class Atos:
         num_queues: int = 1,
         spec: GpuSpec = V100_SPEC,
         max_tasks: int = 20_000_000,
+        sink: EventSink | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -47,12 +49,16 @@ class Atos:
         self.num_queues = num_queues
         self.spec = spec
         self.max_tasks = max_tasks
+        #: observability sink attached to every launch (None = tracing off)
+        self.sink = sink
         #: result of the most recent launch
         self.last_result: RunResult | None = None
 
     # ------------------------------------------------------------------
     def _launch(self, kernel: TaskKernel, config: AtosConfig) -> RunResult:
-        result = run(kernel, config, spec=self.spec, max_tasks=self.max_tasks)
+        result = run(
+            kernel, config, spec=self.spec, max_tasks=self.max_tasks, sink=self.sink
+        )
         self.last_result = result
         return result
 

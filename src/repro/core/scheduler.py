@@ -40,6 +40,16 @@ import numpy as np
 
 from repro.core.config import AtosConfig
 from repro.core.kernel import TaskKernel
+from repro.obs.events import (
+    Barrier,
+    EventSink,
+    GenerationEnd,
+    GenerationStart,
+    KernelLaunch,
+    TaskComplete,
+    TaskPop,
+    TaskRead,
+)
 from repro.queueing.broker import QueueBroker
 from repro.queueing.stealing import StealingWorklist
 from repro.sim.cost import task_cost
@@ -74,6 +84,14 @@ class RunResult:
     queue_contention_ns: float
     empty_pops: int
     mem_utilization: float
+    #: queue-operation counters aggregated over every queue the run used
+    #: (discrete strategies create one queue per generation; all of them
+    #: are accumulated, not just the last)
+    queue_pushes: int = 0
+    queue_pops: int = 0
+    #: work-stealing counters (zero under the shared-queue worklist)
+    steals: int = 0
+    failed_steals: int = 0
     trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
     config_name: str = ""
 
@@ -112,11 +130,17 @@ def run(
     *,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink: EventSink | None = None,
 ) -> RunResult:
-    """Execute ``kernel`` under ``config`` (dispatches on kernel strategy)."""
+    """Execute ``kernel`` under ``config`` (dispatches on kernel strategy).
+
+    ``sink`` attaches an observability sink (e.g.
+    :class:`repro.obs.Collector`); ``None`` — the default — disables event
+    emission entirely.
+    """
     if config.is_persistent:
-        return run_persistent(kernel, config, spec=spec, max_tasks=max_tasks)
-    return run_discrete(kernel, config, spec=spec, max_tasks=max_tasks)
+        return run_persistent(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
+    return run_discrete(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
 
 
 class _Engine:
@@ -130,12 +154,14 @@ class _Engine:
         max_tasks: int,
         *,
         persistent: bool,
+        sink: EventSink | None = None,
     ) -> None:
         self.kernel = kernel
         self.config = config
         self.spec = spec
         self.max_tasks = max_tasks
         self.persistent = persistent
+        self.sink = sink
         self.mem = BandwidthServer(spec.mem_edges_per_ns)
         self.loop = EventLoop()
         self.trace = ThroughputTrace()
@@ -148,15 +174,41 @@ class _Engine:
         self.pop_seq = 0
         self.queue: QueueBroker | None = None  # set per run/generation
         self.pending_pushes: list[np.ndarray] = []  # discrete: next generation
+        # queue-stats accumulators: discrete runs replace the queue every
+        # generation, so counters are absorbed before each replacement
+        # (previously the per-generation stats were discarded with the
+        # queue and run_discrete reported empty_pops=0 unconditionally)
+        self.q_empty_pops = 0
+        self.q_pushes = 0
+        self.q_pops = 0
+        self.q_contention_ns = 0.0
+        self.q_steals = 0
+        self.q_failed_steals = 0
 
     # ------------------------------------------------------------------
+    def absorb_queue_stats(self) -> None:
+        """Fold the current queue's counters into the run accumulators."""
+        q = self.queue
+        if q is None:
+            return
+        backing = q.queues if hasattr(q, "queues") else q.deques
+        for b in backing:
+            self.q_empty_pops += b.stats.empty_pops
+            self.q_pushes += b.stats.pushes
+            self.q_pops += b.stats.pops
+        self.q_contention_ns += q.total_contention_wait()
+        self.q_steals += getattr(q, "steals", 0)
+        self.q_failed_steals += getattr(q, "failed_steals", 0)
+
     def new_queue(self, name: str):
+        self.absorb_queue_stats()  # retire the previous generation's queue
         if self.config.worklist == "stealing":
             self.queue = StealingWorklist(
                 max(2, self.config.num_queues),
                 capacity=self.config.queue_capacity,
                 atomic_ns=self.spec.atomic_queue_ns,
                 name=name,
+                sink=self.sink,
             )
         else:
             self.queue = QueueBroker(
@@ -164,6 +216,7 @@ class _Engine:
                 capacity=self.config.queue_capacity,
                 atomic_ns=self.spec.atomic_queue_ns,
                 name=name,
+                sink=self.sink,
             )
         return self.queue
 
@@ -175,6 +228,8 @@ class _Engine:
             return False
         self.pop_seq += 1
         self.total_tasks += 1
+        if self.sink is not None:
+            self.sink.emit(TaskPop(t=t_acq, worker=worker, items=int(items.size)))
         if self.total_tasks > self.max_tasks:
             raise SchedulerError(
                 f"run exceeded max_tasks={self.max_tasks}; "
@@ -234,6 +289,8 @@ class _Engine:
             t, ev = self.loop.pop()
             if ev[0] == _READ:
                 _, worker, items, finish = ev
+                if self.sink is not None:
+                    self.sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
                 payload = self.kernel.on_read(items, t)
                 self.loop.schedule(finish, (_DONE, worker, items, payload))
                 continue
@@ -244,6 +301,17 @@ class _Engine:
             self.items_retired += result.items_retired
             self.work_units += result.work_units
             self.trace.record(t, result.items_retired, result.work_units)
+            if self.sink is not None:
+                self.sink.emit(
+                    TaskComplete(
+                        t=t,
+                        worker=worker,
+                        items=int(items.size),
+                        retired=result.items_retired,
+                        pushed=int(result.new_items.size),
+                        work=result.work_units,
+                    )
+                )
             if result.new_items.size:
                 if push_to_queue:
                     self.queue.push(result.new_items, t, home=worker)
@@ -266,13 +334,16 @@ def run_persistent(
     *,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink: EventSink | None = None,
 ) -> RunResult:
     """Single launch; workers loop on the shared queue until quiescence."""
-    eng = _Engine(kernel, config, spec, max_tasks, persistent=True)
+    eng = _Engine(kernel, config, spec, max_tasks, persistent=True, sink=sink)
     queue = eng.new_queue(f"{config.name}-wl")
     queue.push(kernel.initial_items(), 0.0, home=0)
 
     t0 = spec.kernel_launch_ns
+    if sink is not None:
+        sink.emit(KernelLaunch(t=0.0, duration_ns=t0))
     eng.seed_workers(t0)
     end = t0
     while True:
@@ -285,8 +356,7 @@ def run_persistent(
         if not eng.loop:
             break
 
-    backing = queue.queues if hasattr(queue, "queues") else queue.deques
-    empty_pops = sum(q.stats.empty_pops for q in backing)
+    eng.absorb_queue_stats()
     return RunResult(
         elapsed_ns=end,
         total_tasks=eng.total_tasks,
@@ -296,9 +366,13 @@ def run_persistent(
         generations=1,
         worker_slots=eng.slots,
         occupancy_fraction=eng.occupancy,
-        queue_contention_ns=queue.total_contention_wait(),
-        empty_pops=empty_pops,
+        queue_contention_ns=eng.q_contention_ns,
+        empty_pops=eng.q_empty_pops,
         mem_utilization=eng.mem.utilization(end),
+        queue_pushes=eng.q_pushes,
+        queue_pops=eng.q_pops,
+        steals=eng.q_steals,
+        failed_steals=eng.q_failed_steals,
         trace=eng.trace,
         config_name=config.name,
     )
@@ -314,6 +388,7 @@ def run_discrete(
     *,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink: EventSink | None = None,
 ) -> RunResult:
     """One kernel per queue generation, global barrier in between.
 
@@ -321,11 +396,10 @@ def run_discrete(
     no scheduler jitter — CPU-launched kernels run in launch order
     (Section 6.3) — and pushes go to the *next* generation's queue.
     """
-    eng = _Engine(kernel, config, spec, max_tasks, persistent=False)
+    eng = _Engine(kernel, config, spec, max_tasks, persistent=False, sink=sink)
     t = 0.0
     launches = 0
     generations = 0
-    contention = 0.0
     current = kernel.initial_items()
 
     while True:
@@ -336,7 +410,11 @@ def run_discrete(
             current = extra
         generations += 1
         launches += 1
+        if sink is not None:
+            sink.emit(KernelLaunch(t=t, duration_ns=spec.kernel_launch_ns))
         t += spec.kernel_launch_ns
+        if sink is not None:
+            sink.emit(GenerationStart(t=t, generation=generations, items=int(current.size)))
         queue = eng.new_queue(f"{config.name}-gen{generations}")
         queue.push(current, t, home=0)
         # a fresh event clock per generation would break the shared
@@ -349,7 +427,9 @@ def run_discrete(
         eng.idle.reverse()  # wake_idle pops from the end
         eng.wake_idle(t)
         gen_end = eng.drain_events(push_to_queue=False)
-        contention += queue.total_contention_wait()
+        if sink is not None:
+            sink.emit(GenerationEnd(t=gen_end, generation=generations))
+            sink.emit(Barrier(t=max(t, gen_end), duration_ns=spec.barrier_ns))
         t = max(t, gen_end) + spec.barrier_ns
         current = (
             np.concatenate(eng.pending_pushes)
@@ -367,6 +447,7 @@ def run_discrete(
             if extra.size:
                 current = np.concatenate([current, extra])
 
+    eng.absorb_queue_stats()  # the final generation's queue
     return RunResult(
         elapsed_ns=t,
         total_tasks=eng.total_tasks,
@@ -376,9 +457,13 @@ def run_discrete(
         generations=generations,
         worker_slots=eng.slots,
         occupancy_fraction=eng.occupancy,
-        queue_contention_ns=contention,
-        empty_pops=0,
+        queue_contention_ns=eng.q_contention_ns,
+        empty_pops=eng.q_empty_pops,
         mem_utilization=eng.mem.utilization(t) if t > 0 else 0.0,
+        queue_pushes=eng.q_pushes,
+        queue_pops=eng.q_pops,
+        steals=eng.q_steals,
+        failed_steals=eng.q_failed_steals,
         trace=eng.trace,
         config_name=config.name,
     )

@@ -15,6 +15,7 @@ from repro.graph.datasets import (
     hollywood_sim,
     indochina_sim,
     load_dataset,
+    resolve_dataset,
     road_usa_sim,
     roadnet_ca_sim,
     soc_livejournal_sim,
@@ -39,6 +40,7 @@ __all__ = [
     "DATASETS",
     "DatasetInfo",
     "load_dataset",
+    "resolve_dataset",
     "soc_livejournal_sim",
     "hollywood_sim",
     "indochina_sim",

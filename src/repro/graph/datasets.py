@@ -48,6 +48,7 @@ __all__ = [
     "DATASETS",
     "SIZES",
     "load_dataset",
+    "resolve_dataset",
     "soc_livejournal_sim",
     "hollywood_sim",
     "indochina_sim",
@@ -157,8 +158,39 @@ SCALE_FREE_KEYS = ("soc-LiveJournal1", "hollywood-2009", "indochina-2004")
 MESH_KEYS = ("road_usa", "roadNet-CA")
 
 
+def _normalize(name: str) -> str:
+    return "".join(c for c in name.lower() if c.isalnum())
+
+
+def _build_aliases() -> dict[str, str]:
+    """Alias table: paper keys, loader names (``roadnet_ca_sim``) and their
+    ``_sim``-less forms all resolve to the registry key."""
+    aliases: dict[str, str] = {}
+    for key, info in DATASETS.items():
+        aliases[_normalize(key)] = key
+        loader_name = _normalize(info.loader.__name__)
+        aliases[loader_name] = key
+        if loader_name.endswith("sim"):
+            aliases[loader_name[: -len("sim")]] = key
+    return aliases
+
+
+_ALIASES = _build_aliases()
+
+
+def resolve_dataset(name: str) -> str:
+    """Map a dataset spelling to its registry key.
+
+    Accepts the paper name (``roadNet-CA``), the loader-function name
+    (``roadnet_ca_sim``) or the sim-less form (``roadnet-ca``),
+    case-insensitively and ignoring punctuation.
+    """
+    key = _ALIASES.get(_normalize(name))
+    if key is None:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    return key
+
+
 def load_dataset(key: str, size: str = "default") -> Csr:
-    """Load one of the five stand-ins by its paper dataset name."""
-    if key not in DATASETS:
-        raise KeyError(f"unknown dataset {key!r}; known: {sorted(DATASETS)}")
-    return DATASETS[key].loader(size)
+    """Load one of the five stand-ins by any accepted dataset spelling."""
+    return DATASETS[resolve_dataset(key)].loader(size)

@@ -117,12 +117,25 @@ class Lab:
         return result
 
     def run_config(
-        self, app: str, dataset: str, config: AtosConfig, *, permuted: bool = False
+        self,
+        app: str,
+        dataset: str,
+        config: AtosConfig,
+        *,
+        permuted: bool = False,
+        sink=None,
     ) -> AppResult:
-        """Run an arbitrary Atos configuration (design-space sweeps)."""
+        """Run an arbitrary Atos configuration (design-space sweeps).
+
+        ``sink`` attaches an observability sink (:class:`repro.obs.Collector`)
+        to the run; unlike :meth:`run`, nothing here is memoised, so the
+        sink always observes a fresh execution.
+        """
         module = _APPS[app]
         graph = self.graph(dataset, permuted=permuted)
-        return module.run_atos(graph, config, spec=self.spec, max_tasks=self.max_tasks)
+        return module.run_atos(
+            graph, config, spec=self.spec, max_tasks=self.max_tasks, sink=sink
+        )
 
     # ------------------------------------------------------------------
     # Table 1

@@ -1,0 +1,60 @@
+"""``repro.obs`` — structured run observability.
+
+A zero-overhead-when-disabled tracing and metrics subsystem threaded
+through the scheduler, queueing and BSP layers:
+
+* :mod:`repro.obs.events` — typed simulation events + ``EventSink``;
+* :mod:`repro.obs.collector` — in-memory collector with per-worker
+  timelines, queue-depth series and occupancy summaries;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and flat harness metrics;
+* :mod:`repro.obs.report` — ASCII top-time-sinks profile.
+
+Attach a :class:`Collector` via the ``sink=`` argument of
+:func:`repro.core.scheduler.run` (or ``Atos(sink=...)``,
+``Lab.run_config(..., sink=...)``), or from a shell::
+
+    python -m repro trace bfs roadnet_ca_sim --config persist-warp --out trace.json
+"""
+
+from repro.obs.collector import Collector, TaskSpan, WorkerSummary
+from repro.obs.events import (
+    Barrier,
+    EmptyPop,
+    EventSink,
+    GenerationEnd,
+    GenerationStart,
+    KernelLaunch,
+    QueuePop,
+    QueuePush,
+    QueueSteal,
+    TaskComplete,
+    TaskPop,
+    TaskRead,
+    TraceEvent,
+)
+from repro.obs.export import flat_metrics, to_chrome_trace, write_chrome_trace
+from repro.obs.report import format_profile
+
+__all__ = [
+    "Collector",
+    "TaskSpan",
+    "WorkerSummary",
+    "TraceEvent",
+    "EventSink",
+    "TaskPop",
+    "TaskRead",
+    "TaskComplete",
+    "QueuePush",
+    "QueuePop",
+    "EmptyPop",
+    "QueueSteal",
+    "GenerationStart",
+    "GenerationEnd",
+    "KernelLaunch",
+    "Barrier",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "flat_metrics",
+    "format_profile",
+]

@@ -1,0 +1,183 @@
+"""Typed simulation events and the ``EventSink`` protocol.
+
+The observability layer follows one rule everywhere: **disabled means
+absent**.  A producer holds ``sink: EventSink | None`` and every emit point
+is guarded by ``if sink is not None`` — when no sink is attached, no event
+object is ever constructed, so instrumented code paths cost one attribute
+test (the acceptance criterion for the benchmark harness, which runs with
+tracing off).
+
+Events are frozen, slotted dataclasses keyed on simulated time ``t`` (ns).
+Two producers emit them:
+
+* the **queueing layer** (:mod:`repro.queueing.mpmc`,
+  :mod:`repro.queueing.stealing`) emits :class:`QueuePush`,
+  :class:`QueuePop`, :class:`EmptyPop` and :class:`QueueSteal` — one event
+  per physical-queue atomic operation, carrying the queue's depth after the
+  operation and the contention wait the atomic induced;
+* the **scheduler layer** (:mod:`repro.core.scheduler`,
+  :mod:`repro.bsp.engine`) emits :class:`TaskPop`, :class:`TaskRead`,
+  :class:`TaskComplete`, :class:`KernelLaunch`, :class:`Barrier` and
+  :class:`GenerationStart`/:class:`GenerationEnd` — the worker-visible
+  lifecycle.
+
+Because every field is a plain number or string and the simulation is
+bit-deterministic for a fixed seed, the ``repr`` of an event stream is
+byte-stable across runs; :meth:`repro.obs.collector.Collector.digest`
+exploits this to turn any traced run into a determinism check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "TraceEvent",
+    "TaskPop",
+    "TaskRead",
+    "TaskComplete",
+    "QueuePush",
+    "QueuePop",
+    "EmptyPop",
+    "QueueSteal",
+    "GenerationStart",
+    "GenerationEnd",
+    "KernelLaunch",
+    "Barrier",
+    "EventSink",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class: every event happens at a simulated instant ``t`` (ns)."""
+
+    t: float
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-level events (one per worker-task lifecycle step)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class TaskPop(TraceEvent):
+    """A worker's successful pop: ``items`` work items claimed at ``t``."""
+
+    worker: int
+    items: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRead(TraceEvent):
+    """The task's read instant — shared state observed (Section 6.3)."""
+
+    worker: int
+    items: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskComplete(TraceEvent):
+    """Task completion: writes applied, follow-on work pushed.
+
+    ``retired`` and ``work`` are the task's contribution to the run's
+    ``items_retired`` / ``work_units`` counters; ``pushed`` is the number of
+    new work items the completion produced.
+    """
+
+    worker: int
+    items: int
+    retired: int
+    pushed: int
+    work: float
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationStart(TraceEvent):
+    """Discrete strategy: a queue generation begins with ``items`` queued."""
+
+    generation: int
+    items: int
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationEnd(TraceEvent):
+    """Discrete strategy: the generation's event loop drained."""
+
+    generation: int
+
+
+@dataclass(frozen=True, slots=True)
+class KernelLaunch(TraceEvent):
+    """A kernel launch occupying ``[t, t + duration_ns]`` of wall time."""
+
+    duration_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier(TraceEvent):
+    """A global synchronization occupying ``[t, t + duration_ns]``."""
+
+    duration_ns: float
+
+
+# ---------------------------------------------------------------------------
+# Queue-level events (one per physical-queue atomic operation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class QueuePush(TraceEvent):
+    """``items`` appended to physical queue ``queue``; completed at ``t``.
+
+    ``depth`` is the queue's size after the push; ``wait_ns`` is how long
+    the operation waited behind the queue's tail atomic.
+    """
+
+    queue: str
+    items: int
+    depth: int
+    wait_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class QueuePop(TraceEvent):
+    """``items`` removed from physical queue ``queue``; completed at ``t``."""
+
+    queue: str
+    items: int
+    depth: int
+    wait_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class EmptyPop(TraceEvent):
+    """A pop that found ``queue`` empty (still paid the atomic)."""
+
+    queue: str
+    wait_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class QueueSteal(TraceEvent):
+    """A successful steal: ``items`` moved from deque ``victim`` to ``thief``."""
+
+    thief: int
+    victim: int
+    items: int
+
+
+# ---------------------------------------------------------------------------
+# Sink protocol
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that accepts a stream of :class:`TraceEvent` objects.
+
+    Producers treat a sink of ``None`` as "tracing disabled" and skip event
+    construction entirely; implementations therefore never see gaps — if a
+    sink is attached, it sees every event the run generates.
+    """
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,254 @@
+"""Trace export: Chrome ``trace_event`` JSON and flat harness metrics.
+
+:func:`to_chrome_trace` converts a collected event stream into the Chrome
+trace-event format (the JSON array flavour wrapped in an object), loadable
+in Perfetto or ``chrome://tracing``:
+
+* each worker slot becomes a thread; its tasks are complete events ("X");
+* kernel launches, barriers and discrete generations live on a dedicated
+  "scheduler" thread;
+* queue pushes/pops feed a global "queue depth" counter track ("C");
+* empty pops and steals appear as instant events ("i") on per-queue
+  threads.
+
+Timestamps are exported in microseconds (the format's unit) from simulated
+nanoseconds.  Serialization uses sorted keys and fixed separators so the
+same event stream always produces byte-identical JSON — re-running a
+seeded simulation and diffing the files is a determinism check.
+
+:func:`flat_metrics` is the harness-facing summary: one flat dict of
+scalars suitable for a benchmark table row.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.collector import Collector
+from repro.obs.events import (
+    Barrier,
+    EmptyPop,
+    GenerationEnd,
+    GenerationStart,
+    KernelLaunch,
+    QueuePop,
+    QueuePush,
+    QueueSteal,
+    TaskPop,
+    TaskRead,
+)
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "flat_metrics"]
+
+_PID = 0
+#: tid of the synthetic "scheduler" thread (launches, barriers, generations)
+_SCHED_TID = 10_000
+#: queue threads are numbered upward from here, in first-seen order
+_QUEUE_TID_BASE = 20_000
+
+
+def _us(t_ns: float) -> float:
+    return t_ns / 1e3
+
+
+def to_chrome_trace(collector: Collector, *, process_name: str = "repro") -> dict:
+    """Render the collected events as a Chrome trace-event document."""
+    trace: list[dict[str, Any]] = []
+    queue_tids: dict[str, int] = {}
+
+    def queue_tid(name: str) -> int:
+        tid = queue_tids.get(name)
+        if tid is None:
+            tid = _QUEUE_TID_BASE + len(queue_tids)
+            queue_tids[name] = tid
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": f"queue {name}"},
+                }
+            )
+        return tid
+
+    trace.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": process_name},
+        }
+    )
+    trace.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _SCHED_TID,
+            "args": {"name": "scheduler"},
+        }
+    )
+
+    # worker task spans (one "X" event per task)
+    workers_seen: set[int] = set()
+    for span in collector.task_spans():
+        if span.worker not in workers_seen:
+            workers_seen.add(span.worker)
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": span.worker,
+                    "args": {"name": f"worker {span.worker}"},
+                }
+            )
+        trace.append(
+            {
+                "name": "task",
+                "ph": "X",
+                "pid": _PID,
+                "tid": span.worker,
+                "ts": _us(span.start),
+                "dur": _us(span.duration),
+                "args": {"items": span.items, "retired": span.retired},
+            }
+        )
+
+    open_generations: dict[int, GenerationStart] = {}
+    for e in collector.events:
+        if isinstance(e, TaskRead):
+            trace.append(
+                {
+                    "name": "read",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": e.worker,
+                    "ts": _us(e.t),
+                    "args": {"items": e.items},
+                }
+            )
+        elif isinstance(e, KernelLaunch):
+            trace.append(
+                {
+                    "name": "kernel launch",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": _us(e.t),
+                    "dur": _us(e.duration_ns),
+                    "args": {},
+                }
+            )
+        elif isinstance(e, Barrier):
+            trace.append(
+                {
+                    "name": "barrier",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": _us(e.t),
+                    "dur": _us(e.duration_ns),
+                    "args": {},
+                }
+            )
+        elif isinstance(e, GenerationStart):
+            open_generations[e.generation] = e
+        elif isinstance(e, GenerationEnd):
+            start = open_generations.pop(e.generation, None)
+            if start is not None:
+                trace.append(
+                    {
+                        "name": f"generation {e.generation}",
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": _SCHED_TID,
+                        "ts": _us(start.t),
+                        "dur": _us(e.t - start.t),
+                        "args": {"items": start.items},
+                    }
+                )
+        elif isinstance(e, EmptyPop):
+            trace.append(
+                {
+                    "name": "empty pop",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": queue_tid(e.queue),
+                    "ts": _us(e.t),
+                    "args": {},
+                }
+            )
+        elif isinstance(e, QueueSteal):
+            trace.append(
+                {
+                    "name": "steal",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": _us(e.t),
+                    "args": {"thief": e.thief, "victim": e.victim, "items": e.items},
+                }
+            )
+
+    for t, depth in collector.queue_depth_series():
+        trace.append(
+            {
+                "name": "queue depth",
+                "ph": "C",
+                "pid": _PID,
+                "ts": _us(t),
+                "args": {"items": depth},
+            }
+        )
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"digest": collector.digest(), "events": len(collector.events)},
+    }
+
+
+def write_chrome_trace(collector: Collector, path: str, *, process_name: str = "repro") -> None:
+    """Serialize :func:`to_chrome_trace` output to ``path``.
+
+    Sorted keys and fixed separators make equal event streams produce
+    byte-identical files.
+    """
+    doc = to_chrome_trace(collector, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+
+
+def flat_metrics(collector: Collector, *, elapsed_ns: float | None = None) -> dict[str, Any]:
+    """One flat dict of scalars summarizing the traced run.
+
+    Counts are ints, durations are floats (ns).
+    """
+    spans = collector.task_spans()
+    end = elapsed_ns if elapsed_ns is not None else collector.end_time()
+    busy = sum(s.duration for s in spans)
+    series = collector.queue_depth_series()
+    return {
+        "events": len(collector.events),
+        "elapsed_ns": float(end),
+        "tasks": len(collector.events_of(TaskPop)),
+        "items_popped": int(sum(e.items for e in collector.events_of(TaskPop))),
+        "items_retired": int(sum(s.retired for s in spans)),
+        "busy_ns": float(busy),
+        "queue_wait_ns": float(collector.queue_wait_ns()),
+        "launch_ns": float(collector.launch_ns()),
+        "barrier_ns": float(collector.barrier_ns()),
+        "empty_pops": len(collector.events_of(EmptyPop)),
+        "queue_pushes": len(collector.events_of(QueuePush)),
+        "queue_pops": len(collector.events_of(QueuePop)),
+        "steals": len(collector.events_of(QueueSteal)),
+        "max_queue_depth": int(max((d for _, d in series), default=0)),
+        "final_queue_depth": int(series[-1][1]) if series else 0,
+    }

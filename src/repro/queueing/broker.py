@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.events import EventSink
 from repro.queueing.mpmc import MpmcQueue
 
 __all__ = ["QueueBroker"]
@@ -28,11 +29,12 @@ class QueueBroker:
         capacity: int = 1 << 62,
         atomic_ns: float = 2.0,
         name: str = "worklist",
+        sink: EventSink | None = None,
     ) -> None:
         if num_queues <= 0:
             raise ValueError("num_queues must be positive")
         self.queues = [
-            MpmcQueue(capacity, atomic_ns=atomic_ns, name=f"{name}[{i}]")
+            MpmcQueue(capacity, atomic_ns=atomic_ns, name=f"{name}[{i}]", sink=sink)
             for i in range(num_queues)
         ]
         self._push_cursor = 0
@@ -108,27 +110,44 @@ class QueueBroker:
         return np.concatenate(collected) if len(collected) > 1 else collected[0], t
 
     def drain(self) -> np.ndarray:
-        """Snapshot-and-clear all queues in round-robin item order.
+        """Snapshot-and-clear all queues in global push order.
 
         Used by the discrete kernel strategy to materialise one generation.
-        Interleaves the physical queues the same way round-robin pushes
-        scattered them, so a push order of ``a b c d`` drains as
-        ``a b c d`` regardless of ``num_queues`` — preserving the global
-        vertex-id ordering that the coloring study (Section 6.3) depends on.
+        Returns the remaining items in the exact order they were pushed —
+        regardless of ``num_queues`` and of any pops in between —
+        preserving the global vertex-id ordering that the coloring study
+        (Section 6.3) depends on.
+
+        The round-robin scatter puts the ``g``-th item ever pushed into
+        physical queue ``g % n`` (the cursor advances by each push's item
+        count, so consecutive items land in consecutive queues across push
+        boundaries).  Queues are strict FIFOs and pops only remove from the
+        head, so the ``j``-th item *remaining* in queue ``q`` has global
+        index ``(removed_q + j) * n + q`` where ``removed_q`` counts every
+        item ever popped or drained from that queue.  Merging by global
+        index reconstructs exact push order.  (A previous version
+        interleaved parts starting at queue 0 and index 0, which reordered
+        items whenever the push cursor was mid-rotation — e.g. pushing
+        ``a b`` after pops emptied the queues drained as ``b a``.)
         """
-        parts = [q.drain() for q in self.queues]
-        if self.num_queues == 1:
-            return parts[0]
-        total = sum(p.size for p in parts)
-        out = np.empty(total, dtype=np.int64)
-        longest = max((p.size for p in parts), default=0)
-        pos = 0
-        for k in range(longest):
-            for p in parts:
-                if k < p.size:
-                    out[pos] = p[k]
-                    pos += 1
-        return out
+        n = self.num_queues
+        if n == 1:
+            return self.queues[0].drain()
+        parts: list[np.ndarray] = []
+        order_keys: list[np.ndarray] = []
+        for qi, q in enumerate(self.queues):
+            removed = q.stats.items_popped + q.stats.items_drained
+            part = q.drain()
+            if part.size:
+                parts.append(part)
+                order_keys.append(
+                    (removed + np.arange(part.size, dtype=np.int64)) * n + qi
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        items = np.concatenate(parts)
+        order = np.argsort(np.concatenate(order_keys), kind="stable")
+        return items[order]
 
     def total_contention_wait(self) -> float:
         """Aggregate atomic-contention wait across all physical queues."""

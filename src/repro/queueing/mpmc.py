@@ -18,9 +18,11 @@ lets us check rather than assume).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs.events import EmptyPop, EventSink, QueuePop, QueuePush
 
 __all__ = ["MpmcQueue", "QueueStats"]
 
@@ -36,6 +38,9 @@ class QueueStats:
     empty_pops: int = 0
     contention_wait_ns: float = 0.0
     max_size: int = 0
+    #: items removed via :meth:`MpmcQueue.drain` (not counted as pops);
+    #: the broker's order-preserving drain needs the total removal count
+    items_drained: int = 0
 
 
 class MpmcQueue:
@@ -51,6 +56,7 @@ class MpmcQueue:
         "capacity",
         "stats",
         "name",
+        "sink",
     )
 
     def __init__(
@@ -60,6 +66,7 @@ class MpmcQueue:
         atomic_ns: float = 2.0,
         initial_buffer: int = 1024,
         name: str = "queue",
+        sink: EventSink | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -74,6 +81,9 @@ class MpmcQueue:
         self.capacity = int(capacity)
         self.stats = QueueStats()
         self.name = name
+        #: optional observability sink; ``None`` disables event emission
+        #: entirely (emit points reduce to one attribute test)
+        self.sink = sink
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +148,16 @@ class MpmcQueue:
         self.stats.pushes += 1
         self.stats.items_pushed += items.size
         self.stats.max_size = max(self.stats.max_size, self.size)
+        if self.sink is not None:
+            self.sink.emit(
+                QueuePush(
+                    t=t,
+                    queue=self.name,
+                    items=int(items.size),
+                    depth=self.size,
+                    wait_ns=max(0.0, t - now - self.atomic_ns),
+                )
+            )
         return t
 
     def pop(self, max_items: int, now: float = 0.0) -> tuple[np.ndarray, float]:
@@ -154,6 +174,14 @@ class MpmcQueue:
         n = min(max_items, self.size)
         if n == 0:
             self.stats.empty_pops += 1
+            if self.sink is not None:
+                self.sink.emit(
+                    EmptyPop(
+                        t=t,
+                        queue=self.name,
+                        wait_ns=max(0.0, t - now - self.atomic_ns),
+                    )
+                )
             return np.empty(0, dtype=np.int64), t
         out = self._buf[self._head : self._head + n].copy()
         self._head += n
@@ -162,6 +190,16 @@ class MpmcQueue:
         if self._head == self._tail:
             # reset to keep the buffer compact
             self._head = self._tail = 0
+        if self.sink is not None:
+            self.sink.emit(
+                QueuePop(
+                    t=t,
+                    queue=self.name,
+                    items=n,
+                    depth=self.size,
+                    wait_ns=max(0.0, t - now - self.atomic_ns),
+                )
+            )
         return out, t
 
     def drain(self) -> np.ndarray:
@@ -169,6 +207,7 @@ class MpmcQueue:
         to snapshot a generation and by tests)."""
         out = self._buf[self._head : self._tail].copy()
         self._head = self._tail = 0
+        self.stats.items_drained += out.size
         return out
 
     def peek_all(self) -> np.ndarray:

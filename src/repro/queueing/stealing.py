@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.events import EventSink, QueueSteal
 from repro.queueing.mpmc import MpmcQueue
 
 __all__ = ["StealingWorklist"]
@@ -40,19 +41,21 @@ class StealingWorklist:
         steal_probe_ns: float = 30.0,
         seed: int = 0,
         name: str = "steal",
+        sink: EventSink | None = None,
     ) -> None:
         if num_deques <= 0:
             raise ValueError("num_deques must be positive")
         if steal_probe_ns < 0:
             raise ValueError("steal_probe_ns must be non-negative")
         self.deques = [
-            MpmcQueue(capacity, atomic_ns=atomic_ns, name=f"{name}[{i}]")
+            MpmcQueue(capacity, atomic_ns=atomic_ns, name=f"{name}[{i}]", sink=sink)
             for i in range(num_deques)
         ]
         self.steal_probe_ns = float(steal_probe_ns)
         self.steals = 0
         self.failed_steals = 0
         self._probe_seq = seed
+        self.sink = sink
 
     # ------------------------------------------------------------------
     @property
@@ -103,9 +106,23 @@ class StealingWorklist:
                 self.failed_steals += 1
                 continue
             self.steals += 1
-            # keep what we can process now; bank the rest in our own deque
+            if self.sink is not None:
+                self.sink.emit(
+                    QueueSteal(
+                        t=t,
+                        thief=home % self.num_queues,
+                        victim=victim_idx,
+                        items=int(loot.size),
+                    )
+                )
+            # keep what we can process now; bank the rest in our own deque.
+            # The banking push serializes on our deque's tail atomic like
+            # any other push, so its completion time is charged to the
+            # steal (a previous version dropped it, making banked surplus
+            # free in simulated time and flattering stealing in the
+            # bench_ablations comparison).
             if loot.size > max_items:
-                own.push(loot[max_items:], t)
+                t = own.push(loot[max_items:], t)
                 loot = loot[:max_items]
             return loot, t
         return np.empty(0, dtype=np.int64), t

@@ -1,0 +1,193 @@
+"""End-to-end tests for the observability layer (repro.obs).
+
+The contract under test: with a :class:`Collector` attached, the event
+stream must *reconcile* with the RunResult the scheduler reports (same
+task counts, same retirements, same empty pops, queues drained), must be
+bit-deterministic for a fixed seed, and must export as valid Chrome
+trace-event JSON — byte-identical across re-runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import __main__ as cli
+from repro.apps import bfs
+from repro.core.config import DISCRETE_WARP, PERSIST_WARP
+from repro.core.scheduler import run_discrete, run_persistent
+from repro.graph.generators import grid_mesh, rmat
+from repro.obs import (
+    Collector,
+    EmptyPop,
+    EventSink,
+    QueuePop,
+    QueuePush,
+    TaskComplete,
+    TaskPop,
+    flat_metrics,
+    format_profile,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.spec import GpuSpec
+
+SPEC = GpuSpec(num_sms=2, mem_edges_per_ns=0.5)
+
+
+def _traced_bfs(config, seed=3):
+    g = rmat(7, edge_factor=4, seed=seed)
+    sink = Collector()
+    res = bfs.run_atos(g, config, spec=SPEC, sink=sink)
+    return res, sink
+
+
+class TestCollectorReconciliation:
+    @pytest.mark.parametrize("config", [PERSIST_WARP, DISCRETE_WARP], ids=lambda c: c.name)
+    def test_counts_match_run_result(self, config):
+        res, sink = _traced_bfs(config)
+        assert len(sink.events_of(TaskPop)) == res.extra["total_tasks"]
+        assert sum(e.retired for e in sink.events_of(TaskComplete)) == res.items_retired
+        assert len(sink.events_of(EmptyPop)) == res.extra["empty_pops"]
+
+    @pytest.mark.parametrize("config", [PERSIST_WARP, DISCRETE_WARP], ids=lambda c: c.name)
+    def test_queue_depth_series_drains_to_zero(self, config):
+        _, sink = _traced_bfs(config)
+        series = sink.queue_depth_series()
+        assert series, "expected queue activity"
+        assert series[-1][1] == 0
+        assert all(depth >= 0 for _, depth in series)
+
+    def test_task_spans_pair_pops_with_completions(self):
+        _, sink = _traced_bfs(PERSIST_WARP)
+        spans = sink.task_spans()
+        assert len(spans) == len(sink.events_of(TaskPop))
+        assert all(s.end >= s.start for s in spans)
+
+    def test_events_are_time_ordered_per_worker(self):
+        _, sink = _traced_bfs(PERSIST_WARP)
+        last: dict[int, float] = {}
+        for e in sink.events_of(TaskPop, TaskComplete):
+            assert e.t >= last.get(e.worker, 0.0)
+            last[e.worker] = e.t
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config", [PERSIST_WARP, DISCRETE_WARP], ids=lambda c: c.name)
+    def test_same_seed_same_digest(self, config):
+        _, s1 = _traced_bfs(config)
+        _, s2 = _traced_bfs(config)
+        assert s1.digest() == s2.digest()
+        assert len(s1.events) == len(s2.events)
+
+    def test_different_seed_different_digest(self):
+        _, s1 = _traced_bfs(PERSIST_WARP, seed=3)
+        _, s2 = _traced_bfs(PERSIST_WARP, seed=4)
+        assert s1.digest() != s2.digest()
+
+
+class TestZeroOverheadDisabled:
+    def test_no_sink_is_default_and_result_identical(self):
+        g = grid_mesh(8, 8)
+        plain = bfs.run_atos(g, PERSIST_WARP, spec=SPEC)
+        traced = bfs.run_atos(g, PERSIST_WARP, spec=SPEC, sink=Collector())
+        assert plain.elapsed_ns == traced.elapsed_ns
+        assert plain.items_retired == traced.items_retired
+
+    def test_protocol_accepts_any_emit(self):
+        class Null:
+            def __init__(self):
+                self.n = 0
+
+            def emit(self, event):
+                self.n += 1
+
+        sink = Null()
+        assert isinstance(sink, EventSink)
+        bfs.run_atos(grid_mesh(4, 4), PERSIST_WARP, spec=SPEC, sink=sink)
+        assert sink.n > 0
+
+
+class TestExport:
+    def test_chrome_trace_shape(self):
+        _, sink = _traced_bfs(PERSIST_WARP)
+        doc = to_chrome_trace(sink)
+        events = doc["traceEvents"]
+        assert doc["otherData"]["digest"] == sink.digest()
+        phases = {e["ph"] for e in events}
+        assert {"X", "M", "C", "i"} <= phases
+        for e in events:
+            assert "pid" in e and "name" in e
+            if e["ph"] != "M":
+                assert e["ts"] >= 0.0
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        _, sink = _traced_bfs(PERSIST_WARP)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(sink, str(a))
+        write_chrome_trace(sink, str(b))
+        assert a.read_bytes() == b.read_bytes()
+        json.loads(a.read_text())  # must be valid JSON
+
+    def test_flat_metrics_reconcile(self):
+        res, sink = _traced_bfs(DISCRETE_WARP)
+        m = flat_metrics(sink, elapsed_ns=res.elapsed_ns)
+        assert m["tasks"] == res.extra["total_tasks"]
+        assert m["items_retired"] == res.items_retired
+        assert m["empty_pops"] == res.extra["empty_pops"]
+        assert m["final_queue_depth"] == 0
+        assert m["queue_pushes"] == len(sink.events_of(QueuePush))
+        assert m["queue_pops"] == len(sink.events_of(QueuePop))
+
+    def test_profile_report_renders(self):
+        res, sink = _traced_bfs(PERSIST_WARP)
+        text = format_profile(
+            sink,
+            elapsed_ns=res.elapsed_ns,
+            worker_slots=res.extra["worker_slots"],
+            config_name=PERSIST_WARP.name,
+        )
+        assert "compute (task spans)" in text
+        assert "Worker occupancy" in text
+        assert PERSIST_WARP.name in text
+
+
+class TestDirectSchedulerTracing:
+    def test_discrete_generation_events(self):
+        from repro.obs import GenerationEnd, GenerationStart
+        from tests.test_scheduler import DISCRETE, CountdownKernel
+
+        sink = Collector()
+        res = run_discrete(CountdownKernel(5), DISCRETE, spec=SPEC, sink=sink)
+        starts = sink.events_of(GenerationStart)
+        ends = sink.events_of(GenerationEnd)
+        assert len(starts) == res.generations
+        assert len(ends) == res.generations
+        # generations are 1-based (generation 1 consumes the seed frontier)
+        assert [e.generation for e in starts] == list(range(1, res.generations + 1))
+
+    def test_persistent_single_launch_event(self):
+        from repro.obs import KernelLaunch
+        from tests.test_scheduler import PERSIST, CountdownKernel
+
+        sink = Collector()
+        run_persistent(CountdownKernel(5), PERSIST, spec=SPEC, sink=sink)
+        assert len(sink.events_of(KernelLaunch)) == 1
+
+
+class TestTraceCli:
+    def test_trace_cli_byte_identical_reruns(self, tmp_path, capsys):
+        out1, out2 = tmp_path / "t1.json", tmp_path / "t2.json"
+        args = ["trace", "bfs", "roadnet_ca_sim", "--config", "persist-warp", "--size", "tiny"]
+        assert cli.main([*args, "--out", str(out1)]) == 0
+        assert cli.main([*args, "--out", str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert doc["traceEvents"]
+        text = capsys.readouterr().out
+        assert "digest:" in text
+        assert "Profile" in text
+
+    def test_trace_cli_unknown_dataset_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            cli.main(["trace", "bfs", "nosuch", "--out", str(tmp_path / "t.json")])

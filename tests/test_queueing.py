@@ -165,3 +165,49 @@ class TestQueueBroker:
         with pytest.raises(ValueError):
             QueueBroker(0)
 
+    def test_drain_respects_cursor_rotation(self):
+        """Regression: drain must honour the round-robin push cursor.
+
+        After pops empty the queues the cursor keeps rotating, so the next
+        push scatters starting from a non-zero queue.  A naive
+        queue-0-first concatenation would return [20, 10] here, violating
+        the global-order guarantee the Section 6.3 study relies on.
+        """
+        b = QueueBroker(2)
+        b.push(np.array([1, 2, 3]))  # cursor now at queue 1
+        while b.size:
+            b.pop(10)
+        b.push(np.array([10, 20]))  # 10 -> queue 1, 20 -> queue 0
+        assert list(b.drain()) == [10, 20]
+
+    def test_drain_interleaved_with_partial_pops(self):
+        """Drain restores global push order even after partial pops."""
+        b = QueueBroker(3)
+        b.push(np.arange(10))
+        popped, _ = b.pop(4)
+        expected = [x for x in range(10) if x not in set(popped.tolist())]
+        assert list(b.drain()) == expected
+
+    @pytest.mark.parametrize("num_queues", [1, 2, 3, 4])
+    def test_drain_fifo_roundtrip_property(self, num_queues):
+        """Property: under any push/pop interleaving, drain returns exactly
+        the not-yet-popped items in their original global push order."""
+        rng = np.random.default_rng(num_queues * 17 + 1)
+        b = QueueBroker(num_queues)
+        pushed: list[int] = []
+        popped: set[int] = set()
+        next_id = 0
+        for _ in range(40):
+            if b.size == 0 or rng.random() < 0.55:
+                n = int(rng.integers(1, 6))
+                items = np.arange(next_id, next_id + n, dtype=np.int64)
+                next_id += n
+                b.push(items)
+                pushed.extend(items.tolist())
+            else:
+                items, _ = b.pop(int(rng.integers(1, 5)), home=int(rng.integers(0, num_queues)))
+                popped.update(items.tolist())
+        expected = [x for x in pushed if x not in popped]
+        assert list(b.drain()) == expected
+        assert b.size == 0
+

@@ -288,4 +288,20 @@ class TestDiscrete:
 
         res = run_discrete(EmptyKernel(0), DISCRETE, spec=SPEC)
         assert res.total_tasks == 0
-        assert res.generations == 0
+
+    def test_queue_stats_survive_generation_rollover(self):
+        """Regression: discrete runs retire one queue per generation; their
+        stats must accumulate instead of reporting the hard-coded zeros."""
+        res = run_discrete(CountdownKernel(10, width=3), DISCRETE, spec=SPEC)
+        # every generation's workers run the queue dry before the barrier
+        assert res.empty_pops > 0
+        assert res.queue_pops > 0
+        assert res.queue_pushes > 0
+        # every task the run counted came through some generation's queue
+        assert res.queue_pops == res.total_tasks
+
+    def test_persistent_queue_counters_populated(self):
+        res = run_persistent(CountdownKernel(10, width=3), PERSIST, spec=SPEC)
+        assert res.queue_pops == res.total_tasks
+        assert res.queue_pushes > 0
+        assert res.empty_pops > 0

@@ -81,6 +81,30 @@ class TestStealingWorklist:
         with pytest.raises(ValueError):
             StealingWorklist(2).pop(0)
 
+    def test_banking_push_charges_simulated_time(self):
+        """Regression: the push that banks stolen surplus into the thief's
+        own deque must advance the returned clock.
+
+        With atomic_ns=5 and no probe cost: own empty pop (100->105),
+        victim pop of half (105->110), banking push of the surplus
+        (110->115).  Before the fix the banking push's completion time was
+        discarded and pop returned 110 — a free queue operation.
+        """
+        wl = StealingWorklist(2, atomic_ns=5.0, steal_probe_ns=0.0)
+        wl.push(np.arange(10), now=0.0, home=0)
+        items, t = wl.pop(1, now=100.0, home=1)
+        assert list(items) == [0]
+        assert t == pytest.approx(115.0)
+
+    def test_no_banking_no_extra_charge(self):
+        """When the steal yields exactly the requested items there is no
+        banking push, so only the empty own-pop and the victim pop bill."""
+        wl = StealingWorklist(2, atomic_ns=5.0, steal_probe_ns=0.0)
+        wl.push(np.arange(2), now=0.0, home=0)  # half = 1 item, no surplus
+        items, t = wl.pop(1, now=100.0, home=1)
+        assert items.size == 1
+        assert t == pytest.approx(110.0)
+
 
 class TestSchedulerIntegration:
     def test_bfs_correct_under_stealing(self):
@@ -96,6 +120,16 @@ class TestSchedulerIntegration:
     def test_invalid_worklist_name_rejected(self):
         with pytest.raises(ValueError, match="worklist"):
             AtosConfig(worklist="magic")
+
+    def test_steal_counters_surface_in_result(self):
+        """Steal/failed-steal counters flow from the worklist into the
+        run's extra stats instead of dying with the retired queue."""
+        g = rmat(7, edge_factor=4, seed=3)
+        res = bfs.run_atos(g, STEAL_CFG, spec=SPEC)
+        assert "steals" in res.extra and "failed_steals" in res.extra
+        # startup pushes everything to one home deque, so the other seven
+        # workers must steal to get going
+        assert res.extra["steals"] > 0
 
     def test_shared_vs_stealing_both_finish(self):
         """The paper's claim direction at small scale: shared is at least
