@@ -11,11 +11,9 @@ asserts qualitatively.
   (documents what the default spec choice does).
 """
 
-import pytest
-
 from repro.analysis.tables import format_table
 from repro.apps import bfs
-from repro.core.config import PERSIST_CTA, PERSIST_WARP, AtosConfig, KernelStrategy
+from repro.core.config import PERSIST_CTA, PERSIST_WARP, AtosConfig
 from repro.sim.spec import FULL_V100_SPEC
 
 

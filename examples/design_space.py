@@ -14,7 +14,6 @@ import numpy as np
 
 from repro import Lab
 from repro.analysis.challenges import classify_challenges
-from repro.harness.experiments import TABLE1_IMPLS
 
 WORKERS = (32, 64, 128, 256)
 FETCHES = (1, 4, 16, 64)

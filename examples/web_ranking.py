@@ -17,7 +17,7 @@ Run:  python examples/web_ranking.py
 
 import numpy as np
 
-from repro import PERSIST_CTA, Lab
+from repro import Lab
 from repro.apps import pagerank
 
 

@@ -13,6 +13,9 @@ Usage::
     python -m repro report                   # paper-vs-measured verdicts
     python -m repro all                      # everything (slow)
     python -m repro trace bfs roadnet_ca_sim --config persist-warp --out trace.json
+    python -m repro run bfs road_usa --config hybrid-CTA   # one cell, summary
+    python -m repro run --list-configs       # named configurations
+    python -m repro run --list-apps          # registered applications
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
 
@@ -51,7 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _build_trace_parser() -> argparse.ArgumentParser:
-    from repro.harness.runner import _APPS
+    from repro.apps.common import app_names
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -60,7 +63,7 @@ def _build_trace_parser() -> argparse.ArgumentParser:
             "write a Chrome trace_event JSON and print the time-sink profile."
         ),
     )
-    parser.add_argument("app", choices=sorted(_APPS))
+    parser.add_argument("app", choices=app_names())
     parser.add_argument("dataset", help="dataset name or alias (e.g. roadnet_ca_sim)")
     parser.add_argument(
         "--config",
@@ -109,10 +112,73 @@ def _run_trace(argv: list[str]) -> int:
     return 0
 
 
+def _build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run one (app, dataset, config) cell and print a summary.",
+    )
+    parser.add_argument("app", nargs="?", help="application name (see --list-apps)")
+    parser.add_argument("dataset", nargs="?", help="dataset name or alias")
+    parser.add_argument(
+        "--config",
+        default="persist-CTA",
+        help="named configuration (default: persist-CTA; see --list-configs)",
+    )
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument("--permuted", action="store_true", help="randomly permute vertex ids")
+    parser.add_argument(
+        "--list-configs", action="store_true", help="list named configurations and exit"
+    )
+    parser.add_argument(
+        "--list-apps", action="store_true", help="list registered applications and exit"
+    )
+    return parser
+
+
+def _run_run(argv: list[str]) -> int:
+    from repro.apps.common import APP_REGISTRY, app_names
+    from repro.core.config import CONFIGS, variant_by_name
+    from repro.graph.datasets import resolve_dataset
+
+    args = _build_run_parser().parse_args(argv)
+    if args.list_configs:
+        for name, cfg in CONFIGS.items():
+            kind = cfg.strategy.value
+            print(
+                f"{name:14s} {kind:10s} workers={cfg.worker_threads:<4d} "
+                f"fetch={cfg.fetch_size:<4d} lb={'on' if cfg.internal_lb else 'off'}"
+            )
+        return 0
+    if args.list_apps:
+        for name in app_names():
+            print(f"{name:12s} {APP_REGISTRY[name].description}")
+        return 0
+    if not args.app or not args.dataset:
+        _build_run_parser().error("app and dataset are required (or use --list-*)")
+    config = variant_by_name(args.config)
+    dataset = resolve_dataset(args.dataset)
+    lab = Lab(size=args.size)
+    result = lab.run(args.app, dataset, config.name, permuted=args.permuted)
+
+    print(f"{args.app} on {dataset} [{config.name}] size={args.size}")
+    print(f"  elapsed          {result.elapsed_ms:.3f} ms")
+    print(f"  work units       {result.work_units:.0f}")
+    print(f"  items retired    {result.items_retired}")
+    print(f"  iterations       {result.iterations}")
+    print(f"  kernel launches  {result.kernel_launches}")
+    for key in sorted(result.extra):
+        val = result.extra[key]
+        shown = f"{val:.4g}" if isinstance(val, float) else val
+        print(f"  {key:16s} {shown}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_run(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

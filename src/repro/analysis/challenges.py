@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.apps.common import AppResult
 from repro.graph.csr import Csr
 from repro.graph.metrics import degree_cv

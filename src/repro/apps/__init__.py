@@ -14,7 +14,29 @@ Each application module provides:
   PageRank fixed point, proper coloring).
 """
 
-from repro.apps.common import AppResult
+from repro.apps.common import (
+    APP_REGISTRY,
+    AppAdapter,
+    AppResult,
+    app_names,
+    get_adapter,
+    run_app,
+)
 from repro.apps import bfs, cc, coloring, delta_sssp, kcore, mis, pagerank, sssp
 
-__all__ = ["AppResult", "bfs", "pagerank", "coloring", "sssp", "cc", "delta_sssp", "kcore", "mis"]
+__all__ = [
+    "AppResult",
+    "AppAdapter",
+    "APP_REGISTRY",
+    "app_names",
+    "get_adapter",
+    "run_app",
+    "bfs",
+    "pagerank",
+    "coloring",
+    "sssp",
+    "cc",
+    "delta_sssp",
+    "kcore",
+    "mis",
+]

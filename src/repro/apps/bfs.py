@@ -22,11 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -139,29 +144,8 @@ def run_atos(
 
     ``sink`` attaches an observability sink (see :mod:`repro.obs`).
     """
-    kernel = SpeculativeBfsKernel(graph, source)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="bfs",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.edges_traversed),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.depth,
-        trace=res.trace,
-        extra={
-            "worker_slots": res.worker_slots,
-            "occupancy": res.occupancy_fraction,
-            "queue_contention_ns": res.queue_contention_ns,
-            "total_tasks": res.total_tasks,
-            "mem_utilization": res.mem_utilization,
-            "empty_pops": res.empty_pops,
-            "steals": res.steals,
-            "failed_steals": res.failed_steals,
-        },
+    return run_app(
+        "bfs", graph, config, spec=spec, max_tasks=max_tasks, sink=sink, source=source
     )
 
 
@@ -338,6 +322,16 @@ def _run_bsp_direction_optimized(
         trace=timeline.trace,
         extra={"pull_iterations": pull_iterations},
     )
+
+
+register_app(AppAdapter(
+    name="bfs",
+    description="breadth-first search (speculative vs. level-synchronous)",
+    make_kernel=lambda graph, source=0: SpeculativeBfsKernel(graph, source),
+    output=lambda k: k.depth,
+    work_units=lambda k: k.edges_traversed,
+    bsp=run_bsp,
+))
 
 
 def reference_depths(graph: Csr, source: int = 0) -> np.ndarray:

@@ -18,11 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -107,24 +112,18 @@ def run_atos(
     sink=None,
 ) -> AppResult:
     """Asynchronous connected components under an Atos configuration."""
-    kernel = AsyncCcKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="cc",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.edges_propagated),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.labels,
-        trace=res.trace,
-        extra={
-            "num_components": int(np.unique(kernel.labels).size),
-            "total_tasks": res.total_tasks,
-        },
-    )
+    return run_app("cc", graph, config, spec=spec, max_tasks=max_tasks, sink=sink)
+
+
+register_app(AppAdapter(
+    name="cc",
+    description="connected components via min-label propagation",
+    make_kernel=lambda graph: AsyncCcKernel(graph),
+    output=lambda k: k.labels,
+    work_units=lambda k: k.edges_propagated,
+    extra=lambda k: {"num_components": int(np.unique(k.labels).size)},
+    bsp=lambda graph, **kw: run_bsp(graph, **kw),
+))
 
 
 def run_bsp(

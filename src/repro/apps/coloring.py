@@ -39,12 +39,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.bsp.loadbalance import twc_buckets
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -179,6 +184,18 @@ class AsyncColoringKernel:
         return self.assign_tag(np.unique(v[bad]))
 
 
+def _tune_config(config: AtosConfig) -> AtosConfig:
+    """Apply the paper's Section 6.3 coloring resource budgets.
+
+    72 registers for the persistent uberkernel vs. 42 for the discrete one,
+    and 46 KB of shared memory for CTA-sized workers.  A hybrid kernel must
+    compile the persistent queue loop, so it carries the persistent budget.
+    """
+    regs = 72 if (config.is_persistent or config.is_hybrid) else 42
+    smem = 46 * 1024 if config.is_cta_worker else 0
+    return config.with_overrides(registers_per_thread=regs, shared_mem_per_cta=smem)
+
+
 def run_atos(
     graph: Csr,
     config: AtosConfig,
@@ -189,38 +206,25 @@ def run_atos(
 ) -> AppResult:
     """Asynchronous speculative coloring under an Atos configuration.
 
-    Register/shared-memory budgets follow the paper's Section 6.3 report:
-    72 registers for the persistent uberkernel vs. 42 for the discrete one,
-    and 46 KB of shared memory for CTA-sized workers.
+    Register/shared-memory budgets follow the paper's Section 6.3 report
+    (see :func:`_tune_config`).
     """
-    regs = 72 if config.is_persistent else 42
-    smem = 46 * 1024 if config.is_cta_worker else 0
-    config = config.with_overrides(
-        registers_per_thread=regs, shared_mem_per_cta=smem
-    )
-    kernel = AsyncColoringKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="coloring",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.assignments),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.colors,
-        trace=res.trace,
-        extra={
-            "worker_slots": res.worker_slots,
-            "occupancy": res.occupancy_fraction,
-            "queue_contention_ns": res.queue_contention_ns,
-            "total_tasks": res.total_tasks,
-            "conflict_checks": kernel.conflict_checks,
-            "num_colors": int(kernel.colors.max()) + 1,
-            "mem_utilization": res.mem_utilization,
-        },
-    )
+    return run_app("coloring", graph, config, spec=spec, max_tasks=max_tasks, sink=sink)
+
+
+register_app(AppAdapter(
+    name="coloring",
+    description="speculative greedy coloring (uberkernel vs. BSP rounds)",
+    make_kernel=lambda graph: AsyncColoringKernel(graph),
+    output=lambda k: k.colors,
+    work_units=lambda k: k.assignments,
+    extra=lambda k: {
+        "conflict_checks": k.conflict_checks,
+        "num_colors": int(k.colors.max()) + 1,
+    },
+    bsp=lambda graph, **kw: run_bsp(graph, **kw),
+    tune_config=_tune_config,
+))
 
 
 def run_bsp(

@@ -1,15 +1,46 @@
-"""Shared application plumbing."""
+"""Shared application plumbing: result record + the app dispatch registry.
+
+Every application used to carry its own ``run_atos`` glue — construct the
+kernel, call the scheduler, copy a dozen ``RunResult`` fields into an
+:class:`AppResult`.  The :class:`AppAdapter` registry replaces those
+copies with one dispatch path:
+
+* an adapter describes how to build the app's task kernel, read its
+  artifact/work counters, and (optionally) run its BSP frontier engine;
+* :func:`run_app` resolves the execution policy from the config
+  (:func:`repro.core.policy.policy_for`), routes app-level policies (BSP)
+  to the adapter's frontier function and engine-level policies through
+  :func:`repro.core.policy.run_policy`, and assembles the uniform
+  :class:`AppResult` — including one consistent ``extra`` metrics block
+  for every app.
+
+App modules self-register at import time (``register_app`` at module
+bottom); importing :mod:`repro.apps` loads all eight.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.config import AtosConfig
+from repro.core.engine import RunResult
+from repro.core.policy import policy_for, run_policy
+from repro.sim.spec import V100_SPEC, GpuSpec
 from repro.sim.trace import ThroughputTrace
 
-__all__ = ["AppResult", "EMPTY_ITEMS"]
+__all__ = [
+    "AppResult",
+    "EMPTY_ITEMS",
+    "AppAdapter",
+    "APP_REGISTRY",
+    "register_app",
+    "app_names",
+    "get_adapter",
+    "run_app",
+]
 
 EMPTY_ITEMS = np.empty(0, dtype=np.int64)
 
@@ -52,3 +83,127 @@ class AppResult:
         if baseline_work <= 0:
             raise ValueError("baseline work must be positive")
         return self.work_units / baseline_work
+
+
+# ---------------------------------------------------------------------------
+# App adapter registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AppAdapter:
+    """How the dispatch layer drives one application.
+
+    ``make_kernel(graph, **params)`` builds the app's task kernel (None for
+    BSP-only apps like delta-stepping SSSP); ``output`` / ``work_units`` /
+    ``extra`` read the artifact and counters back off the finished kernel;
+    ``bsp`` is the app-level frontier engine for the BSP policy;
+    ``tune_config`` applies app-specific resource budgets (e.g. coloring's
+    Section 6.3 register/shared-memory figures) before the run.
+    """
+
+    name: str
+    description: str
+    make_kernel: Callable[..., Any] | None
+    output: Callable[[Any], np.ndarray] | None = None
+    work_units: Callable[[Any], float] | None = None
+    extra: Callable[[Any], dict[str, Any]] | None = None
+    bsp: Callable[..., "AppResult"] | None = None
+    tune_config: Callable[[AtosConfig], AtosConfig] | None = None
+
+
+APP_REGISTRY: dict[str, AppAdapter] = {}
+
+
+def register_app(adapter: AppAdapter) -> AppAdapter:
+    """Register an application adapter (called at app-module import)."""
+    APP_REGISTRY[adapter.name] = adapter
+    return adapter
+
+
+def _ensure_registered() -> None:
+    # App modules self-register on import; importing the package pulls in
+    # all of them.  Deferred to avoid a common <-> apps import cycle.
+    if not APP_REGISTRY:
+        import repro.apps  # noqa: F401
+
+
+def app_names() -> list[str]:
+    """Sorted names of every registered application."""
+    _ensure_registered()
+    return sorted(APP_REGISTRY)
+
+
+def get_adapter(app: str) -> AppAdapter:
+    """Look up an application adapter by name."""
+    _ensure_registered()
+    try:
+        return APP_REGISTRY[app]
+    except KeyError:
+        raise KeyError(f"unknown app {app!r}; known: {sorted(APP_REGISTRY)}") from None
+
+
+def _base_extra(res: RunResult) -> dict[str, Any]:
+    """The scheduler-level metrics every Atos-policy run reports."""
+    return {
+        "worker_slots": res.worker_slots,
+        "occupancy": res.occupancy_fraction,
+        "queue_contention_ns": res.queue_contention_ns,
+        "total_tasks": res.total_tasks,
+        "mem_utilization": res.mem_utilization,
+        "empty_pops": res.empty_pops,
+        "steals": res.steals,
+        "failed_steals": res.failed_steals,
+        "policy_switches": res.policy_switches,
+    }
+
+
+def run_app(
+    app: str,
+    graph,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+    sink=None,
+    **params,
+) -> AppResult:
+    """Run application ``app`` on ``graph`` under ``config``'s policy.
+
+    The single entry point behind every per-app ``run_atos`` wrapper, the
+    :class:`~repro.harness.runner.Lab` matrix and the ``python -m repro
+    run`` CLI.  ``params`` are forwarded to the adapter's kernel factory
+    (or, for the BSP policy, to its frontier engine): e.g. ``source=`` for
+    BFS/SSSP, ``epsilon=`` for PageRank.
+    """
+    adapter = get_adapter(app)
+    policy = policy_for(config)
+    if policy.app_level:
+        if adapter.bsp is None:
+            raise ValueError(f"app {app!r} has no BSP implementation")
+        return adapter.bsp(graph, spec=spec, **params)
+    if adapter.make_kernel is None:
+        raise ValueError(
+            f"app {app!r} is BSP-only and cannot run under an Atos policy"
+        )
+    if adapter.tune_config is not None:
+        config = adapter.tune_config(config)
+    kernel = adapter.make_kernel(graph, **params)
+    res = run_policy(
+        kernel, config, policy=policy, spec=spec, max_tasks=max_tasks, sink=sink
+    )
+    extra = _base_extra(res)
+    if adapter.extra is not None:
+        extra.update(adapter.extra(kernel))
+    return AppResult(
+        app=adapter.name,
+        impl=config.name,
+        dataset=graph.name,
+        elapsed_ns=res.elapsed_ns,
+        work_units=float(adapter.work_units(kernel)),
+        items_retired=res.items_retired,
+        iterations=res.generations,
+        kernel_launches=res.kernel_launches,
+        output=adapter.output(kernel),
+        trace=res.trace,
+        extra=extra,
+    )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import EMPTY_ITEMS, AppAdapter, AppResult, register_app
 from repro.apps.sssp import UNREACHED, uniform_weights
 from repro.bsp.engine import BspTimeline
 from repro.graph.csr import Csr
@@ -136,3 +136,11 @@ def run_delta_stepping(
         trace=timeline.trace,
         extra={"delta": delta},
     )
+
+
+register_app(AppAdapter(
+    name="delta-sssp",
+    description="bucket-synchronous delta-stepping SSSP (BSP-only)",
+    make_kernel=None,
+    bsp=lambda graph, **kw: run_delta_stepping(graph, **kw),
+))

@@ -20,11 +20,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -119,21 +124,18 @@ def run_atos(
     sink=None,
 ) -> AppResult:
     """Asynchronous k-core decomposition under an Atos configuration."""
-    kernel = AsyncKcoreKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="kcore",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.edges_touched),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.core,
-        trace=res.trace,
-        extra={"max_core": int(kernel.core.max()) if kernel.core.size else 0},
-    )
+    return run_app("kcore", graph, config, spec=spec, max_tasks=max_tasks, sink=sink)
+
+
+register_app(AppAdapter(
+    name="kcore",
+    description="k-core decomposition by asynchronous peeling",
+    make_kernel=lambda graph: AsyncKcoreKernel(graph),
+    output=lambda k: k.core,
+    work_units=lambda k: k.edges_touched,
+    extra=lambda k: {"max_core": int(k.core.max()) if k.core.size else 0},
+    bsp=lambda graph, **kw: run_bsp(graph, **kw),
+))
 
 
 def run_bsp(

@@ -18,11 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -116,21 +121,18 @@ def run_atos(
     sink=None,
 ) -> AppResult:
     """Asynchronous lexicographic MIS under an Atos configuration."""
-    kernel = AsyncMisKernel(graph)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="mis",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.evaluations),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.status.astype(np.int64),
-        trace=res.trace,
-        extra={"mis_size": int(kernel.status.sum())},
-    )
+    return run_app("mis", graph, config, spec=spec, max_tasks=max_tasks, sink=sink)
+
+
+register_app(AppAdapter(
+    name="mis",
+    description="lexicographically-first maximal independent set",
+    make_kernel=lambda graph: AsyncMisKernel(graph),
+    output=lambda k: k.status.astype(np.int64),
+    work_units=lambda k: k.evaluations,
+    extra=lambda k: {"mis_size": int(k.status.sum())},
+    bsp=lambda graph, **kw: run_bsp(graph, **kw),
+))
 
 
 def run_bsp(

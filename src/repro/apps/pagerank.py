@@ -30,11 +30,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -200,29 +205,16 @@ def run_atos(
     sink=None,
 ) -> AppResult:
     """Asynchronous PageRank under an Atos configuration."""
-    kernel = AsyncPageRankKernel(
-        graph, lam=lam, epsilon=epsilon, check_size=check_size
-    )
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return AppResult(
-        app="pagerank",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.edges_traversed),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.rank,
-        trace=res.trace,
-        extra={
-            "worker_slots": res.worker_slots,
-            "occupancy": res.occupancy_fraction,
-            "queue_contention_ns": res.queue_contention_ns,
-            "total_tasks": res.total_tasks,
-            "residue_left": float(kernel.residue.max()),
-            "mem_utilization": res.mem_utilization,
-        },
+    return run_app(
+        "pagerank",
+        graph,
+        config,
+        spec=spec,
+        max_tasks=max_tasks,
+        sink=sink,
+        lam=lam,
+        epsilon=epsilon,
+        check_size=check_size,
     )
 
 
@@ -298,6 +290,20 @@ def run_bsp(
         trace=timeline.trace,
         extra={"residue_left": float(residue.max())},
     )
+
+
+register_app(AppAdapter(
+    name="pagerank",
+    description="push PageRank (asynchronous residue vs. BSP iterations)",
+    make_kernel=lambda graph, lam=DEFAULT_LAMBDA, epsilon=DEFAULT_EPSILON,
+    check_size=64: AsyncPageRankKernel(
+        graph, lam=lam, epsilon=epsilon, check_size=check_size
+    ),
+    output=lambda k: k.rank,
+    work_units=lambda k: k.edges_traversed,
+    extra=lambda k: {"residue_left": float(k.residue.max())},
+    bsp=run_bsp,
+))
 
 
 def reference_ranks(

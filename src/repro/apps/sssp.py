@@ -21,11 +21,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import EMPTY_ITEMS, AppResult
+from repro.apps.common import (
+    EMPTY_ITEMS,
+    AppAdapter,
+    AppResult,
+    register_app,
+    run_app,
+)
 from repro.bsp.engine import BspTimeline
 from repro.core.config import AtosConfig
 from repro.core.kernel import CompletionResult
-from repro.core.scheduler import run as run_scheduler
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
@@ -132,6 +137,12 @@ class SpeculativeSsspKernel:
         return EMPTY_ITEMS
 
 
+def _make_kernel(graph: Csr, weights=None, source: int = 0) -> SpeculativeSsspKernel:
+    if weights is None:
+        weights = uniform_weights(graph)
+    return SpeculativeSsspKernel(graph, weights, source)
+
+
 def run_atos(
     graph: Csr,
     config: AtosConfig,
@@ -140,25 +151,29 @@ def run_atos(
     source: int = 0,
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
+    sink=None,
 ) -> AppResult:
     """Speculative SSSP under an Atos configuration."""
-    if weights is None:
-        weights = uniform_weights(graph)
-    kernel = SpeculativeSsspKernel(graph, weights, source)
-    res = run_scheduler(kernel, config, spec=spec, max_tasks=max_tasks)
-    return AppResult(
-        app="sssp",
-        impl=config.name,
-        dataset=graph.name,
-        elapsed_ns=res.elapsed_ns,
-        work_units=float(kernel.edges_relaxed),
-        items_retired=res.items_retired,
-        iterations=res.generations,
-        kernel_launches=res.kernel_launches,
-        output=kernel.dist,
-        trace=res.trace,
-        extra={"total_tasks": res.total_tasks, "worker_slots": res.worker_slots},
+    return run_app(
+        "sssp",
+        graph,
+        config,
+        spec=spec,
+        max_tasks=max_tasks,
+        sink=sink,
+        weights=weights,
+        source=source,
     )
+
+
+register_app(AppAdapter(
+    name="sssp",
+    description="single-source shortest paths (speculative vs. Bellman-Ford)",
+    make_kernel=_make_kernel,
+    output=lambda k: k.dist,
+    work_units=lambda k: k.edges_relaxed,
+    bsp=lambda graph, **kw: run_bellman_ford(graph, **kw),
+))
 
 
 def run_bellman_ford(

@@ -18,16 +18,36 @@ and trace statistics.
 """
 
 from repro.core.config import (
+    BSP_BASELINE,
+    CONFIGS,
     DISCRETE_CTA,
     DISCRETE_WARP,
+    HYBRID_CTA,
+    HYBRID_WARP,
     PERSIST_CTA,
     PERSIST_WARP,
+    VARIANTS,
     AtosConfig,
     KernelStrategy,
     variant_by_name,
 )
 from repro.core.kernel import CompletionResult, TaskKernel
-from repro.core.scheduler import RunResult, run, run_discrete, run_persistent
+from repro.core.policy import (
+    POLICIES,
+    ExecutionPolicy,
+    PolicyOutcome,
+    policy_for,
+    register_policy,
+    run_policy,
+)
+from repro.core.engine import ExecutionEngine
+from repro.core.scheduler import (
+    RunResult,
+    run,
+    run_discrete,
+    run_hybrid,
+    run_persistent,
+)
 from repro.core.api import Atos
 from repro.core.dag import Dag, DagKernel, JoinCounters
 
@@ -38,6 +58,11 @@ __all__ = [
     "PERSIST_CTA",
     "DISCRETE_CTA",
     "DISCRETE_WARP",
+    "HYBRID_CTA",
+    "HYBRID_WARP",
+    "BSP_BASELINE",
+    "VARIANTS",
+    "CONFIGS",
     "variant_by_name",
     "TaskKernel",
     "CompletionResult",
@@ -45,6 +70,14 @@ __all__ = [
     "run",
     "run_persistent",
     "run_discrete",
+    "run_hybrid",
+    "ExecutionPolicy",
+    "ExecutionEngine",
+    "PolicyOutcome",
+    "POLICIES",
+    "policy_for",
+    "register_policy",
+    "run_policy",
     "Atos",
     "Dag",
     "DagKernel",

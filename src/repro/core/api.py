@@ -28,6 +28,27 @@ from repro.sim.spec import V100_SPEC, GpuSpec
 
 __all__ = ["Atos"]
 
+_NAME_PREFIX = {
+    KernelStrategy.PERSISTENT: "persist",
+    KernelStrategy.DISCRETE: "discrete",
+    KernelStrategy.HYBRID: "hybrid",
+}
+
+
+def _resolve_strategy(
+    persistent: bool, strategy: str | KernelStrategy | None
+) -> KernelStrategy:
+    """``strategy`` (name or enum) wins over the legacy ``persistent`` flag."""
+    if strategy is None:
+        return KernelStrategy.PERSISTENT if persistent else KernelStrategy.DISCRETE
+    if isinstance(strategy, str):
+        strategy = KernelStrategy(strategy)
+    if strategy is KernelStrategy.BSP:
+        raise ValueError(
+            "BSP executes at application level; use repro.apps.common.run_app"
+        )
+    return strategy
+
 
 class Atos:
     """Entry point for launching task kernels on the simulated GPU."""
@@ -67,19 +88,21 @@ class Atos:
         kernel: TaskKernel,
         *,
         persistent: bool = True,
+        strategy: str | KernelStrategy | None = None,
         fetch_size: int = 1,
         registers_per_thread: int = 32,
     ) -> RunResult:
         """Thread-sized workers (one GPU thread per task)."""
+        strat = _resolve_strategy(persistent, strategy)
         config = AtosConfig(
-            strategy=KernelStrategy.PERSISTENT if persistent else KernelStrategy.DISCRETE,
+            strategy=strat,
             worker_threads=1,
             fetch_size=fetch_size,
             internal_lb=False,
             registers_per_thread=registers_per_thread,
             num_queues=self.num_queues,
             queue_capacity=self.capacity,
-            name=f"{'persist' if persistent else 'discrete'}-thread-{fetch_size}",
+            name=f"{_NAME_PREFIX[strat]}-thread-{fetch_size}",
         )
         return self._launch(kernel, config)
 
@@ -88,13 +111,15 @@ class Atos:
         kernel: TaskKernel,
         *,
         persistent: bool = True,
+        strategy: str | KernelStrategy | None = None,
         fetch_size: int = 1,
         registers_per_thread: int = 56,
         shared_mem_per_cta: int = 0,
     ) -> RunResult:
         """Warp-sized workers (32 threads per task; the paper's persist-32)."""
+        strat = _resolve_strategy(persistent, strategy)
         config = AtosConfig(
-            strategy=KernelStrategy.PERSISTENT if persistent else KernelStrategy.DISCRETE,
+            strategy=strat,
             worker_threads=32,
             fetch_size=fetch_size,
             internal_lb=False,
@@ -102,7 +127,7 @@ class Atos:
             shared_mem_per_cta=shared_mem_per_cta,
             num_queues=self.num_queues,
             queue_capacity=self.capacity,
-            name=f"{'persist' if persistent else 'discrete'}-warp-{fetch_size}",
+            name=f"{_NAME_PREFIX[strat]}-warp-{fetch_size}",
         )
         return self._launch(kernel, config)
 
@@ -113,6 +138,7 @@ class Atos:
         fetch_size: int,
         num_threads: int = 256,
         persistent: bool = True,
+        strategy: str | KernelStrategy | None = None,
         registers_per_thread: int = 56,
         shared_mem_per_cta: int = 0,
     ) -> RunResult:
@@ -122,8 +148,9 @@ class Atos:
         work items one pop claims; ``num_threads`` sets the CTA width and
         thereby the task/data parallelism trade-off (Section 3.3).
         """
+        strat = _resolve_strategy(persistent, strategy)
         config = AtosConfig(
-            strategy=KernelStrategy.PERSISTENT if persistent else KernelStrategy.DISCRETE,
+            strategy=strat,
             worker_threads=num_threads,
             fetch_size=fetch_size,
             internal_lb=True,
@@ -131,6 +158,6 @@ class Atos:
             shared_mem_per_cta=shared_mem_per_cta,
             num_queues=self.num_queues,
             queue_capacity=self.capacity,
-            name=f"{'persist' if persistent else 'discrete'}-{num_threads}-{fetch_size}",
+            name=f"{_NAME_PREFIX[strat]}-{num_threads}-{fetch_size}",
         )
         return self._launch(kernel, config)

@@ -13,6 +13,12 @@ extra for the coloring study (Section 6.1):
 Register/shared-memory budgets default to the figures the paper reports for
 graph coloring (72 regs persistent / 42 discrete, Section 6.3) scaled to a
 generic application; individual apps override them.
+
+Beyond the paper's four, the ``hybrid`` strategy (this repo's extension of
+the Section 6.5 observation that neither pure strategy wins everywhere)
+starts discrete and switches to persistent execution at generation
+boundaries once the live frontier falls below a watermark — see
+:class:`repro.core.policy.HybridPolicy` and ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -27,16 +33,29 @@ __all__ = [
     "PERSIST_CTA",
     "DISCRETE_CTA",
     "DISCRETE_WARP",
+    "HYBRID_CTA",
+    "HYBRID_WARP",
+    "BSP_BASELINE",
     "variant_by_name",
     "VARIANTS",
+    "CONFIGS",
 ]
 
 
 class KernelStrategy(enum.Enum):
-    """Section 3.4: one launch forever vs. one launch per generation."""
+    """Section 3.4: one launch forever vs. one launch per generation.
+
+    ``HYBRID`` is the adaptive extension: discrete generations while the
+    frontier is wide, one persistent phase once it narrows (and back, with
+    hysteresis, if it widens again).  ``BSP`` names the frontier-synchronous
+    baseline, which executes at application level (see
+    :class:`repro.core.policy.BspPolicy`).
+    """
 
     PERSISTENT = "persistent"
     DISCRETE = "discrete"
+    HYBRID = "hybrid"
+    BSP = "bsp"
 
 
 @dataclass(frozen=True)
@@ -67,6 +86,15 @@ class AtosConfig:
     worklist: str = "shared"
     #: queue capacity in items (device buffer size in the real framework)
     queue_capacity: int = 1 << 62
+    #: hybrid strategy only: switch discrete→persistent at a generation
+    #: boundary when the live frontier holds fewer than this many items.
+    #: 0 = auto (worker_slots × fetch_size × 32, enough waves to amortize a
+    #: kernel launch — see docs/architecture.md)
+    hybrid_low_watermark: int = 0
+    #: hybrid strategy only: switch persistent→discrete when the queue
+    #: grows beyond this many items.  0 = auto (4 × low watermark); must be
+    #: ≥ the low watermark when both are set (hysteresis band)
+    hybrid_high_watermark: int = 0
     name: str = "atos"
 
     def __post_init__(self) -> None:
@@ -82,11 +110,23 @@ class AtosConfig:
             raise ValueError("num_queues must be >= 1")
         if self.worklist not in ("shared", "stealing"):
             raise ValueError('worklist must be "shared" or "stealing"')
+        if self.hybrid_low_watermark < 0 or self.hybrid_high_watermark < 0:
+            raise ValueError("hybrid watermarks must be non-negative")
+        if (
+            self.hybrid_low_watermark
+            and self.hybrid_high_watermark
+            and self.hybrid_high_watermark < self.hybrid_low_watermark
+        ):
+            raise ValueError("hybrid_high_watermark must be >= hybrid_low_watermark")
 
     # ------------------------------------------------------------------
     @property
     def is_persistent(self) -> bool:
         return self.strategy is KernelStrategy.PERSISTENT
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.strategy is KernelStrategy.HYBRID
 
     @property
     def is_cta_worker(self) -> bool:
@@ -111,7 +151,14 @@ class AtosConfig:
 
     def describe(self) -> str:
         """Short human-readable tag, e.g. ``persist-256-128``."""
-        kind = "persist" if self.is_persistent else "discrete"
+        if self.is_persistent:
+            kind = "persist"
+        elif self.is_hybrid:
+            kind = "hybrid"
+        elif self.strategy is KernelStrategy.BSP:
+            kind = "bsp"
+        else:
+            kind = "discrete"
         if self.is_warp_worker and self.fetch_size == 1:
             return f"{kind}-warp"
         return f"{kind}-{self.worker_threads}-{self.fetch_size}"
@@ -155,6 +202,28 @@ DISCRETE_WARP = AtosConfig(
     name="discrete-warp",
 )
 
+# Adaptive extension (not in the paper's Table 1): discrete while wide,
+# persistent once narrow.  An adaptive kernel must compile the persistent
+# queue loop, so it carries the persistent register budget.
+HYBRID_CTA = AtosConfig(
+    strategy=KernelStrategy.HYBRID,
+    worker_threads=256,
+    fetch_size=64,
+    internal_lb=True,
+    registers_per_thread=56,
+    name="hybrid-CTA",
+)
+
+HYBRID_WARP = AtosConfig(
+    strategy=KernelStrategy.HYBRID,
+    worker_threads=32,
+    fetch_size=1,
+    internal_lb=False,
+    registers_per_thread=56,
+    name="hybrid-warp",
+)
+
+#: the paper's Section 6.1 variants, exactly as evaluated
 VARIANTS: dict[str, AtosConfig] = {
     "persist-warp": PERSIST_WARP,
     "persist-CTA": PERSIST_CTA,
@@ -162,10 +231,26 @@ VARIANTS: dict[str, AtosConfig] = {
     "discrete-warp": DISCRETE_WARP,
 }
 
+#: the frontier-synchronous baseline, executed at application level
+#: (worker/fetch fields are ignored by the BSP policy)
+BSP_BASELINE = AtosConfig(strategy=KernelStrategy.BSP, name="BSP")
+
+#: every named configuration this repo ships (paper variants + extensions)
+CONFIGS: dict[str, AtosConfig] = {
+    **VARIANTS,
+    "hybrid-CTA": HYBRID_CTA,
+    "hybrid-warp": HYBRID_WARP,
+    "BSP": BSP_BASELINE,
+}
+
 
 def variant_by_name(name: str) -> AtosConfig:
-    """Look up one of the paper's named variants (case-insensitive)."""
-    for key, cfg in VARIANTS.items():
+    """Look up a named configuration (case-insensitive).
+
+    Resolves the paper's four variants plus this repo's extensions
+    (``hybrid-CTA``, ``hybrid-warp``).
+    """
+    for key, cfg in CONFIGS.items():
         if key.lower() == name.lower():
             return cfg
-    raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}")
+    raise KeyError(f"unknown variant {name!r}; known: {sorted(CONFIGS)}")

@@ -1,0 +1,355 @@
+"""Strategy-agnostic execution machinery shared by every kernel policy.
+
+Historically the scheduler was two monolithic functions
+(``run_persistent`` / ``run_discrete``) sharing a private ``_Engine``
+class.  This module is that machinery factored out behind a neutral
+surface so that *policies* (:mod:`repro.core.policy`) can compose it:
+
+* :class:`ExecutionEngine` owns the simulated hardware (event loop,
+  bandwidth server, occupancy-derived worker slots), the live
+  :class:`~repro.queueing.protocol.Worklist`, and the run accumulators;
+* the engine is **mode-switchable**: :meth:`ExecutionEngine.set_mode`
+  selects the read-instant lead and pop-jitter amplitude that distinguish
+  persistent from discrete execution (Section 6.3 semantics), so one
+  engine instance can serve a policy that alternates between them;
+* :meth:`ExecutionEngine.drain_events` accepts an optional ``stop_when``
+  predicate: when it fires, the engine stops issuing new pops and lets
+  in-flight tasks retire — the mechanism the hybrid policy uses to
+  interrupt a persistent phase whose queue has grown past its watermark.
+
+Everything observable (event order, timestamps, counters) is identical to
+the pre-refactor ``_Engine`` for the persistent and discrete policies;
+``tests/test_equivalence.py`` pins that with obs digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import AtosConfig
+from repro.core.kernel import TaskKernel
+from repro.obs.events import (
+    EventSink,
+    TaskComplete,
+    TaskPop,
+    TaskRead,
+)
+from repro.queueing.broker import QueueBroker
+from repro.queueing.protocol import Worklist
+from repro.queueing.stealing import StealingWorklist
+from repro.sim.cost import task_cost
+from repro.sim.engine import EventLoop
+from repro.sim.memory import BandwidthServer
+from repro.sim.occupancy import occupancy_for
+from repro.sim.spec import GpuSpec
+from repro.sim.trace import ThroughputTrace
+
+__all__ = ["RunResult", "SchedulerError", "ExecutionEngine"]
+
+_READ = 0
+_DONE = 1
+
+
+class SchedulerError(RuntimeError):
+    """Raised when a run exceeds its task budget (diverging application)."""
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulated kernel execution."""
+
+    elapsed_ns: float
+    total_tasks: int
+    items_retired: int
+    work_units: float
+    kernel_launches: int
+    generations: int
+    worker_slots: int
+    occupancy_fraction: float
+    queue_contention_ns: float
+    empty_pops: int
+    mem_utilization: float
+    #: queue-operation counters aggregated over every queue the run used
+    #: (discrete strategies create one queue per generation; all of them
+    #: are accumulated, not just the last)
+    queue_pushes: int = 0
+    queue_pops: int = 0
+    #: work-stealing counters (zero under the shared-queue worklist)
+    steals: int = 0
+    failed_steals: int = 0
+    #: hybrid strategy: number of discrete↔persistent crossovers
+    policy_switches: int = 0
+    trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
+    config_name: str = ""
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated runtime in milliseconds (the paper's Table 1 unit)."""
+        return self.elapsed_ns / 1e6
+
+
+def _worker_slots(spec: GpuSpec, config: AtosConfig) -> tuple[int, float]:
+    """Resident worker count and occupancy fraction for a configuration."""
+    occ = occupancy_for(
+        spec,
+        threads_per_cta=config.occupancy_cta_threads,
+        registers_per_thread=config.registers_per_thread,
+        shared_mem_per_cta=config.shared_mem_per_cta,
+    )
+    if config.is_cta_worker:
+        return occ.total_ctas, occ.occupancy_fraction
+    if config.is_warp_worker:
+        return occ.total_warps, occ.occupancy_fraction
+    return occ.threads_per_sm * spec.num_sms, occ.occupancy_fraction
+
+
+def _jitter(worker: int, seq: int, amplitude: float) -> float:
+    """Deterministic pseudo-random stagger for persistent-kernel pops."""
+    if amplitude <= 0.0:
+        return 0.0
+    h = (worker * 2654435761 + seq * 40503 + 12345) & 0xFFFF
+    return (h / 65536.0) * amplitude
+
+
+class ExecutionEngine:
+    """Shared simulated-GPU machinery every execution policy drives.
+
+    A policy owns the control flow (when to launch, barrier, create
+    queues, quiesce); the engine owns the mechanism (pops, cost model,
+    read/complete event processing, counters).  The engine starts with no
+    mode — a policy must call :meth:`set_mode` before seeding work.
+    """
+
+    def __init__(
+        self,
+        kernel: TaskKernel,
+        config: AtosConfig,
+        spec: GpuSpec,
+        max_tasks: int,
+        *,
+        sink: EventSink | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.spec = spec
+        self.max_tasks = max_tasks
+        self.sink = sink
+        self.mem = BandwidthServer(spec.mem_edges_per_ns)
+        self.loop = EventLoop()
+        self.trace = ThroughputTrace()
+        self.slots, self.occupancy = _worker_slots(spec, config)
+        self.idle: list[int] = []
+        self.in_flight = 0
+        self.total_tasks = 0
+        self.items_retired = 0
+        self.work_units = 0.0
+        self.pop_seq = 0
+        self.queue: Worklist | None = None  # set per run/generation
+        self.pending_pushes: list[np.ndarray] = []  # discrete: next generation
+        # mode-dependent knobs; set_mode() must run before any pop
+        self.read_lead_ns = 0.0
+        self.jitter_amp = 0.0
+        # queue-stats accumulators: discrete runs replace the queue every
+        # generation, so counters are absorbed before each replacement
+        # (previously the per-generation stats were discarded with the
+        # queue and run_discrete reported empty_pops=0 unconditionally)
+        self.q_empty_pops = 0
+        self.q_pushes = 0
+        self.q_pops = 0
+        self.q_contention_ns = 0.0
+        self.q_steals = 0
+        self.q_failed_steals = 0
+
+    # ------------------------------------------------------------------
+    def set_mode(self, *, persistent: bool) -> None:
+        """Select the read-instant and jitter semantics (Section 6.3).
+
+        Persistent workers read ``read_lead_ns`` before completion and pop
+        with hardware-scheduler jitter; discrete waves read at their pop
+        instant and issue in strict queue order with no stagger.
+        """
+        if persistent:
+            self.read_lead_ns = self.spec.read_lead_ns
+            self.jitter_amp = self.spec.persistent_jitter_ns
+        else:
+            self.read_lead_ns = self.spec.discrete_read_lead_ns
+            self.jitter_amp = 0.0
+
+    # ------------------------------------------------------------------
+    def absorb_queue_stats(self) -> None:
+        """Fold the current queue's counters into the run accumulators."""
+        q = self.queue
+        if q is None:
+            return
+        s = q.stats()
+        self.q_empty_pops += s.empty_pops
+        self.q_pushes += s.pushes
+        self.q_pops += s.pops
+        self.q_contention_ns += s.contention_wait_ns
+        self.q_steals += s.steals
+        self.q_failed_steals += s.failed_steals
+
+    def new_queue(self, name: str) -> Worklist:
+        self.absorb_queue_stats()  # retire the previous generation's queue
+        if self.config.worklist == "stealing":
+            self.queue = StealingWorklist(
+                max(2, self.config.num_queues),
+                capacity=self.config.queue_capacity,
+                atomic_ns=self.spec.atomic_queue_ns,
+                name=name,
+                sink=self.sink,
+            )
+        else:
+            self.queue = QueueBroker(
+                self.config.num_queues,
+                capacity=self.config.queue_capacity,
+                atomic_ns=self.spec.atomic_queue_ns,
+                name=name,
+                sink=self.sink,
+            )
+        return self.queue
+
+    def try_pop(self, worker: int, t: float) -> bool:
+        """Attempt a pop; on success schedules the task's READ event."""
+        items, t_acq = self.queue.pop(self.config.fetch_size, t, home=worker)
+        if items.size == 0:
+            self.idle.append(worker)
+            return False
+        self.pop_seq += 1
+        self.total_tasks += 1
+        if self.sink is not None:
+            self.sink.emit(TaskPop(t=t_acq, worker=worker, items=int(items.size)))
+        if self.total_tasks > self.max_tasks:
+            raise SchedulerError(
+                f"run exceeded max_tasks={self.max_tasks}; "
+                "the application appears not to converge"
+            )
+        edge_work, max_degree = self.kernel.work_estimate(items)
+        # deterministic per-task latency jitter (cache misses, scheduling
+        # noise); reuses the pop-stagger hash on a different stream
+        u = _jitter(worker, self.pop_seq + 7919, 1.0)
+        cost = task_cost(
+            self.spec,
+            self.mem,
+            start=t_acq,
+            worker_threads=self.config.worker_threads,
+            num_items=int(items.size),
+            edge_counts_sum=edge_work,
+            max_degree=max_degree,
+            use_internal_lb=self.config.internal_lb,
+            latency_scale=1.0 + self.spec.duration_jitter * u,
+        )
+        t_read = max(t_acq, cost.finish_time - self.read_lead_ns)
+        self.loop.schedule(t_read, (_READ, worker, items, cost.finish_time))
+        self.in_flight += 1
+        return True
+
+    def wake_idle(self, t: float) -> None:
+        """Hand queued work to parked workers."""
+        while self.idle and self.queue.size > 0:
+            worker = self.idle.pop()
+            if not self.try_pop(worker, t + _jitter(worker, self.pop_seq, self.jitter_amp)):
+                break
+
+    def seed_workers(self, t: float) -> None:
+        """Initial wave: give every worker that can be fed a first pop."""
+        needed = min(self.slots, max(1, -(-self.queue.size // self.config.fetch_size)))
+        for w in range(self.slots):
+            if w < needed:
+                self.try_pop(w, t + _jitter(w, 0, self.jitter_amp))
+            else:
+                self.idle.append(w)
+
+    def drain_events(self, *, push_to_queue: bool, stop_when=None) -> float:
+        """Process READ/DONE events until the loop empties.
+
+        ``push_to_queue=False`` (discrete) collects pushes for the next
+        generation instead of making them immediately poppable.
+
+        ``stop_when`` (checked after each completion) stops the engine
+        from issuing *new* pops once true; in-flight tasks still retire,
+        so the loop drains to a consistent stop.  Used by the hybrid
+        policy to interrupt a persistent phase at its high watermark.
+        """
+        end = self.loop.now
+        stopped = False
+        while self.loop:
+            t, ev = self.loop.pop()
+            if ev[0] == _READ:
+                _, worker, items, finish = ev
+                if self.sink is not None:
+                    self.sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                payload = self.kernel.on_read(items, t)
+                self.loop.schedule(finish, (_DONE, worker, items, payload))
+                continue
+            _, worker, items, payload = ev
+            self.in_flight -= 1
+            result = self.kernel.on_complete(items, payload, t)
+            end = max(end, t)
+            self.items_retired += result.items_retired
+            self.work_units += result.work_units
+            self.trace.record(t, result.items_retired, result.work_units)
+            if self.sink is not None:
+                self.sink.emit(
+                    TaskComplete(
+                        t=t,
+                        worker=worker,
+                        items=int(items.size),
+                        retired=result.items_retired,
+                        pushed=int(result.new_items.size),
+                        work=result.work_units,
+                    )
+                )
+            if result.new_items.size:
+                if push_to_queue:
+                    self.queue.push(result.new_items, t, home=worker)
+                else:
+                    self.pending_pushes.append(result.new_items)
+            if stop_when is not None and not stopped and stop_when():
+                stopped = True
+            if stopped:
+                self.idle.append(worker)
+                continue
+            jit = _jitter(worker, self.pop_seq, self.jitter_amp)
+            self.try_pop(worker, t + jit)
+            self.wake_idle(t)
+        assert self.in_flight == 0, "event loop drained with tasks in flight"
+        return end
+
+    # ------------------------------------------------------------------
+    def build_result(
+        self,
+        *,
+        elapsed_ns: float,
+        kernel_launches: int,
+        generations: int,
+        policy_switches: int = 0,
+    ) -> RunResult:
+        """Materialise the final :class:`RunResult` from the accumulators.
+
+        Absorbs the live queue's counters first, so call exactly once,
+        after the policy has quiesced.
+        """
+        self.absorb_queue_stats()
+        return RunResult(
+            elapsed_ns=elapsed_ns,
+            total_tasks=self.total_tasks,
+            items_retired=self.items_retired,
+            work_units=self.work_units,
+            kernel_launches=kernel_launches,
+            generations=generations,
+            worker_slots=self.slots,
+            occupancy_fraction=self.occupancy,
+            queue_contention_ns=self.q_contention_ns,
+            empty_pops=self.q_empty_pops,
+            mem_utilization=self.mem.utilization(elapsed_ns) if elapsed_ns > 0 else 0.0,
+            queue_pushes=self.q_pushes,
+            queue_pops=self.q_pops,
+            steals=self.q_steals,
+            failed_steals=self.q_failed_steals,
+            policy_switches=policy_switches,
+            trace=self.trace,
+            config_name=self.config.name,
+        )

@@ -1,4 +1,4 @@
-"""The Atos runtime: persistent and discrete task scheduling.
+"""The Atos runtime facade: run a task kernel under a kernel strategy.
 
 This is the simulation analogue of the paper's Listing 2::
 
@@ -29,99 +29,40 @@ Read-instant semantics (the Section 6.3 mechanism):
 
 The persistent strategy pays one kernel launch and runs to quiescence; the
 discrete strategy snapshots the queue into generations with launch+barrier
-around each, preserving queue order.
+around each, preserving queue order; the hybrid strategy alternates
+between the two at frontier watermarks.
+
+Mechanically this module is now a thin facade: the machinery lives in
+:mod:`repro.core.engine` (the strategy-agnostic :class:`ExecutionEngine`)
+and the per-strategy control flow in :mod:`repro.core.policy` (the
+``ExecutionPolicy`` registry).  :func:`run` resolves the policy from
+``config.strategy``; :func:`run_persistent` / :func:`run_discrete` /
+:func:`run_hybrid` force a specific policy regardless of the config's
+strategy field (useful for sweeps that hold everything else fixed).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.core.config import AtosConfig
+from repro.core.engine import RunResult, SchedulerError, _jitter, _worker_slots  # noqa: F401
 from repro.core.kernel import TaskKernel
-from repro.obs.events import (
-    Barrier,
-    EventSink,
-    GenerationEnd,
-    GenerationStart,
-    KernelLaunch,
-    TaskComplete,
-    TaskPop,
-    TaskRead,
+from repro.core.policy import (
+    DiscretePolicy,
+    HybridPolicy,
+    PersistentPolicy,
+    run_policy,
 )
-from repro.queueing.broker import QueueBroker
-from repro.queueing.stealing import StealingWorklist
-from repro.sim.cost import task_cost
-from repro.sim.engine import EventLoop
-from repro.sim.memory import BandwidthServer
-from repro.sim.occupancy import occupancy_for
+from repro.obs.events import EventSink
 from repro.sim.spec import V100_SPEC, GpuSpec
-from repro.sim.trace import ThroughputTrace
 
-__all__ = ["RunResult", "run", "run_persistent", "run_discrete", "SchedulerError"]
-
-_READ = 0
-_DONE = 1
-
-
-class SchedulerError(RuntimeError):
-    """Raised when a run exceeds its task budget (diverging application)."""
-
-
-@dataclass
-class RunResult:
-    """Everything measured during one simulated kernel execution."""
-
-    elapsed_ns: float
-    total_tasks: int
-    items_retired: int
-    work_units: float
-    kernel_launches: int
-    generations: int
-    worker_slots: int
-    occupancy_fraction: float
-    queue_contention_ns: float
-    empty_pops: int
-    mem_utilization: float
-    #: queue-operation counters aggregated over every queue the run used
-    #: (discrete strategies create one queue per generation; all of them
-    #: are accumulated, not just the last)
-    queue_pushes: int = 0
-    queue_pops: int = 0
-    #: work-stealing counters (zero under the shared-queue worklist)
-    steals: int = 0
-    failed_steals: int = 0
-    trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
-    config_name: str = ""
-
-    @property
-    def elapsed_ms(self) -> float:
-        """Simulated runtime in milliseconds (the paper's Table 1 unit)."""
-        return self.elapsed_ns / 1e6
-
-
-def _worker_slots(spec: GpuSpec, config: AtosConfig) -> tuple[int, float]:
-    """Resident worker count and occupancy fraction for a configuration."""
-    occ = occupancy_for(
-        spec,
-        threads_per_cta=config.occupancy_cta_threads,
-        registers_per_thread=config.registers_per_thread,
-        shared_mem_per_cta=config.shared_mem_per_cta,
-    )
-    if config.is_cta_worker:
-        return occ.total_ctas, occ.occupancy_fraction
-    if config.is_warp_worker:
-        return occ.total_warps, occ.occupancy_fraction
-    return occ.threads_per_sm * spec.num_sms, occ.occupancy_fraction
-
-
-def _jitter(worker: int, seq: int, amplitude: float) -> float:
-    """Deterministic pseudo-random stagger for persistent-kernel pops."""
-    if amplitude <= 0.0:
-        return 0.0
-    h = (worker * 2654435761 + seq * 40503 + 12345) & 0xFFFF
-    return (h / 65536.0) * amplitude
+__all__ = [
+    "RunResult",
+    "run",
+    "run_persistent",
+    "run_discrete",
+    "run_hybrid",
+    "SchedulerError",
+]
 
 
 def run(
@@ -138,195 +79,8 @@ def run(
     :class:`repro.obs.Collector`); ``None`` — the default — disables event
     emission entirely.
     """
-    if config.is_persistent:
-        return run_persistent(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
-    return run_discrete(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
+    return run_policy(kernel, config, spec=spec, max_tasks=max_tasks, sink=sink)
 
-
-class _Engine:
-    """Shared machinery of the persistent and discrete strategies."""
-
-    def __init__(
-        self,
-        kernel: TaskKernel,
-        config: AtosConfig,
-        spec: GpuSpec,
-        max_tasks: int,
-        *,
-        persistent: bool,
-        sink: EventSink | None = None,
-    ) -> None:
-        self.kernel = kernel
-        self.config = config
-        self.spec = spec
-        self.max_tasks = max_tasks
-        self.persistent = persistent
-        self.sink = sink
-        self.mem = BandwidthServer(spec.mem_edges_per_ns)
-        self.loop = EventLoop()
-        self.trace = ThroughputTrace()
-        self.slots, self.occupancy = _worker_slots(spec, config)
-        self.idle: list[int] = []
-        self.in_flight = 0
-        self.total_tasks = 0
-        self.items_retired = 0
-        self.work_units = 0.0
-        self.pop_seq = 0
-        self.queue: QueueBroker | None = None  # set per run/generation
-        self.pending_pushes: list[np.ndarray] = []  # discrete: next generation
-        # queue-stats accumulators: discrete runs replace the queue every
-        # generation, so counters are absorbed before each replacement
-        # (previously the per-generation stats were discarded with the
-        # queue and run_discrete reported empty_pops=0 unconditionally)
-        self.q_empty_pops = 0
-        self.q_pushes = 0
-        self.q_pops = 0
-        self.q_contention_ns = 0.0
-        self.q_steals = 0
-        self.q_failed_steals = 0
-
-    # ------------------------------------------------------------------
-    def absorb_queue_stats(self) -> None:
-        """Fold the current queue's counters into the run accumulators."""
-        q = self.queue
-        if q is None:
-            return
-        backing = q.queues if hasattr(q, "queues") else q.deques
-        for b in backing:
-            self.q_empty_pops += b.stats.empty_pops
-            self.q_pushes += b.stats.pushes
-            self.q_pops += b.stats.pops
-        self.q_contention_ns += q.total_contention_wait()
-        self.q_steals += getattr(q, "steals", 0)
-        self.q_failed_steals += getattr(q, "failed_steals", 0)
-
-    def new_queue(self, name: str):
-        self.absorb_queue_stats()  # retire the previous generation's queue
-        if self.config.worklist == "stealing":
-            self.queue = StealingWorklist(
-                max(2, self.config.num_queues),
-                capacity=self.config.queue_capacity,
-                atomic_ns=self.spec.atomic_queue_ns,
-                name=name,
-                sink=self.sink,
-            )
-        else:
-            self.queue = QueueBroker(
-                self.config.num_queues,
-                capacity=self.config.queue_capacity,
-                atomic_ns=self.spec.atomic_queue_ns,
-                name=name,
-                sink=self.sink,
-            )
-        return self.queue
-
-    def try_pop(self, worker: int, t: float) -> bool:
-        """Attempt a pop; on success schedules the task's READ event."""
-        items, t_acq = self.queue.pop(self.config.fetch_size, t, home=worker)
-        if items.size == 0:
-            self.idle.append(worker)
-            return False
-        self.pop_seq += 1
-        self.total_tasks += 1
-        if self.sink is not None:
-            self.sink.emit(TaskPop(t=t_acq, worker=worker, items=int(items.size)))
-        if self.total_tasks > self.max_tasks:
-            raise SchedulerError(
-                f"run exceeded max_tasks={self.max_tasks}; "
-                "the application appears not to converge"
-            )
-        edge_work, max_degree = self.kernel.work_estimate(items)
-        # deterministic per-task latency jitter (cache misses, scheduling
-        # noise); reuses the pop-stagger hash on a different stream
-        u = _jitter(worker, self.pop_seq + 7919, 1.0)
-        cost = task_cost(
-            self.spec,
-            self.mem,
-            start=t_acq,
-            worker_threads=self.config.worker_threads,
-            num_items=int(items.size),
-            edge_counts_sum=edge_work,
-            max_degree=max_degree,
-            use_internal_lb=self.config.internal_lb,
-            latency_scale=1.0 + self.spec.duration_jitter * u,
-        )
-        lead = (
-            self.spec.read_lead_ns
-            if self.persistent
-            else self.spec.discrete_read_lead_ns
-        )
-        t_read = max(t_acq, cost.finish_time - lead)
-        self.loop.schedule(t_read, (_READ, worker, items, cost.finish_time))
-        self.in_flight += 1
-        return True
-
-    def wake_idle(self, t: float) -> None:
-        """Hand queued work to parked workers."""
-        jitter_amp = self.spec.persistent_jitter_ns if self.persistent else 0.0
-        while self.idle and self.queue.size > 0:
-            worker = self.idle.pop()
-            if not self.try_pop(worker, t + _jitter(worker, self.pop_seq, jitter_amp)):
-                break
-
-    def seed_workers(self, t: float) -> None:
-        """Initial wave: give every worker that can be fed a first pop."""
-        jitter_amp = self.spec.persistent_jitter_ns if self.persistent else 0.0
-        needed = min(self.slots, max(1, -(-self.queue.size // self.config.fetch_size)))
-        for w in range(self.slots):
-            if w < needed:
-                self.try_pop(w, t + _jitter(w, 0, jitter_amp))
-            else:
-                self.idle.append(w)
-
-    def drain_events(self, *, push_to_queue: bool) -> float:
-        """Process READ/DONE events until the loop empties.
-
-        ``push_to_queue=False`` (discrete) collects pushes for the next
-        generation instead of making them immediately poppable.
-        """
-        end = self.loop.now
-        while self.loop:
-            t, ev = self.loop.pop()
-            if ev[0] == _READ:
-                _, worker, items, finish = ev
-                if self.sink is not None:
-                    self.sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
-                payload = self.kernel.on_read(items, t)
-                self.loop.schedule(finish, (_DONE, worker, items, payload))
-                continue
-            _, worker, items, payload = ev
-            self.in_flight -= 1
-            result = self.kernel.on_complete(items, payload, t)
-            end = max(end, t)
-            self.items_retired += result.items_retired
-            self.work_units += result.work_units
-            self.trace.record(t, result.items_retired, result.work_units)
-            if self.sink is not None:
-                self.sink.emit(
-                    TaskComplete(
-                        t=t,
-                        worker=worker,
-                        items=int(items.size),
-                        retired=result.items_retired,
-                        pushed=int(result.new_items.size),
-                        work=result.work_units,
-                    )
-                )
-            if result.new_items.size:
-                if push_to_queue:
-                    self.queue.push(result.new_items, t, home=worker)
-                else:
-                    self.pending_pushes.append(result.new_items)
-            jit = _jitter(worker, self.pop_seq, self.spec.persistent_jitter_ns) if self.persistent else 0.0
-            self.try_pop(worker, t + jit)
-            self.wake_idle(t)
-        assert self.in_flight == 0, "event loop drained with tasks in flight"
-        return end
-
-
-# ---------------------------------------------------------------------------
-# Persistent strategy
-# ---------------------------------------------------------------------------
 
 def run_persistent(
     kernel: TaskKernel,
@@ -337,50 +91,10 @@ def run_persistent(
     sink: EventSink | None = None,
 ) -> RunResult:
     """Single launch; workers loop on the shared queue until quiescence."""
-    eng = _Engine(kernel, config, spec, max_tasks, persistent=True, sink=sink)
-    queue = eng.new_queue(f"{config.name}-wl")
-    queue.push(kernel.initial_items(), 0.0, home=0)
-
-    t0 = spec.kernel_launch_ns
-    if sink is not None:
-        sink.emit(KernelLaunch(t=0.0, duration_ns=t0))
-    eng.seed_workers(t0)
-    end = t0
-    while True:
-        end = max(end, eng.drain_events(push_to_queue=True))
-        extra = kernel.final_check(end)
-        if extra.size == 0:
-            break
-        queue.push(extra, end, home=0)
-        eng.wake_idle(end)
-        if not eng.loop:
-            break
-
-    eng.absorb_queue_stats()
-    return RunResult(
-        elapsed_ns=end,
-        total_tasks=eng.total_tasks,
-        items_retired=eng.items_retired,
-        work_units=eng.work_units,
-        kernel_launches=1,
-        generations=1,
-        worker_slots=eng.slots,
-        occupancy_fraction=eng.occupancy,
-        queue_contention_ns=eng.q_contention_ns,
-        empty_pops=eng.q_empty_pops,
-        mem_utilization=eng.mem.utilization(end),
-        queue_pushes=eng.q_pushes,
-        queue_pops=eng.q_pops,
-        steals=eng.q_steals,
-        failed_steals=eng.q_failed_steals,
-        trace=eng.trace,
-        config_name=config.name,
+    return run_policy(
+        kernel, config, policy=PersistentPolicy(), spec=spec, max_tasks=max_tasks, sink=sink
     )
 
-
-# ---------------------------------------------------------------------------
-# Discrete strategy
-# ---------------------------------------------------------------------------
 
 def run_discrete(
     kernel: TaskKernel,
@@ -396,74 +110,20 @@ def run_discrete(
     no scheduler jitter — CPU-launched kernels run in launch order
     (Section 6.3) — and pushes go to the *next* generation's queue.
     """
-    eng = _Engine(kernel, config, spec, max_tasks, persistent=False, sink=sink)
-    t = 0.0
-    launches = 0
-    generations = 0
-    current = kernel.initial_items()
+    return run_policy(
+        kernel, config, policy=DiscretePolicy(), spec=spec, max_tasks=max_tasks, sink=sink
+    )
 
-    while True:
-        if current.size == 0:
-            extra = kernel.final_check(t)
-            if extra.size == 0:
-                break
-            current = extra
-        generations += 1
-        launches += 1
-        if sink is not None:
-            sink.emit(KernelLaunch(t=t, duration_ns=spec.kernel_launch_ns))
-        t += spec.kernel_launch_ns
-        if sink is not None:
-            sink.emit(GenerationStart(t=t, generation=generations, items=int(current.size)))
-        queue = eng.new_queue(f"{config.name}-gen{generations}")
-        queue.push(current, t, home=0)
-        # a fresh event clock per generation would break the shared
-        # bandwidth server, so the loop keeps global time; workers all
-        # start at the generation launch instant
-        eng.idle = []
-        for w in range(eng.slots):
-            eng.idle.append(w)
-        # issue strictly in order: lowest worker ids pop first, same time
-        eng.idle.reverse()  # wake_idle pops from the end
-        eng.wake_idle(t)
-        gen_end = eng.drain_events(push_to_queue=False)
-        if sink is not None:
-            sink.emit(GenerationEnd(t=gen_end, generation=generations))
-            sink.emit(Barrier(t=max(t, gen_end), duration_ns=spec.barrier_ns))
-        t = max(t, gen_end) + spec.barrier_ns
-        current = (
-            np.concatenate(eng.pending_pushes)
-            if eng.pending_pushes
-            else np.empty(0, dtype=np.int64)
-        )
-        eng.pending_pushes = []
-        # Workers whose pops fail at the end of a generation run the
-        # application's f2 function (paper Listing 3) — for PageRank that is
-        # the residual check scan.  Kernels express it via the optional
-        # ``generation_check`` hook.
-        gen_hook = getattr(kernel, "generation_check", None)
-        if gen_hook is not None:
-            extra = gen_hook(t)
-            if extra.size:
-                current = np.concatenate([current, extra])
 
-    eng.absorb_queue_stats()  # the final generation's queue
-    return RunResult(
-        elapsed_ns=t,
-        total_tasks=eng.total_tasks,
-        items_retired=eng.items_retired,
-        work_units=eng.work_units,
-        kernel_launches=launches,
-        generations=generations,
-        worker_slots=eng.slots,
-        occupancy_fraction=eng.occupancy,
-        queue_contention_ns=eng.q_contention_ns,
-        empty_pops=eng.q_empty_pops,
-        mem_utilization=eng.mem.utilization(t) if t > 0 else 0.0,
-        queue_pushes=eng.q_pushes,
-        queue_pops=eng.q_pops,
-        steals=eng.q_steals,
-        failed_steals=eng.q_failed_steals,
-        trace=eng.trace,
-        config_name=config.name,
+def run_hybrid(
+    kernel: TaskKernel,
+    config: AtosConfig,
+    *,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+    sink: EventSink | None = None,
+) -> RunResult:
+    """Adaptive strategy: discrete while wide, persistent once narrow."""
+    return run_policy(
+        kernel, config, policy=HybridPolicy(), spec=spec, max_tasks=max_tasks, sink=sink
     )

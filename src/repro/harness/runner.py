@@ -17,40 +17,16 @@ from repro.analysis.challenges import ChallengeReport, classify_challenges
 from repro.analysis.overwork import coloring_workload_ratio, workload_ratio
 from repro.analysis.tables import format_table
 from repro.analysis.throughput import normalized_series, render_figure
-from repro.apps import bfs, cc, coloring, kcore, mis, pagerank
-from repro.apps.common import AppResult
+from repro.apps.common import AppResult, get_adapter, run_app
 from repro.graph.csr import Csr
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.metrics import compute_stats
 from repro.graph.permute import permute_vertices
-from repro.core.config import (
-    DISCRETE_CTA,
-    DISCRETE_WARP,
-    PERSIST_CTA,
-    PERSIST_WARP,
-    AtosConfig,
-    KernelStrategy,
-)
+from repro.core.config import CONFIGS, AtosConfig, KernelStrategy
 from repro.harness.experiments import ALL_DATASETS, TABLE1_IMPLS
 from repro.sim.spec import V100_SPEC, GpuSpec
 
 __all__ = ["Lab", "Table1Row"]
-
-# Table-1 apps first; the extension apps are runnable through Lab.run too
-_APPS = {
-    "bfs": bfs,
-    "pagerank": pagerank,
-    "coloring": coloring,
-    "cc": cc,
-    "kcore": kcore,
-    "mis": mis,
-}
-_VARIANTS = {
-    "persist-warp": PERSIST_WARP,
-    "persist-CTA": PERSIST_CTA,
-    "discrete-CTA": DISCRETE_CTA,
-    "discrete-warp": DISCRETE_WARP,
-}
 
 
 @dataclass(frozen=True)
@@ -91,28 +67,22 @@ class Lab:
     def run(self, app: str, dataset: str, impl: str, *, permuted: bool = False) -> AppResult:
         """Run (and cache) one cell of the evaluation matrix.
 
-        ``impl`` is ``"BSP"`` or one of the named Atos variants.
+        ``impl`` is any named configuration from
+        :data:`repro.core.config.CONFIGS` — ``"BSP"``, the paper's four Atos
+        variants, or the hybrid extensions.
         """
-        if app not in _APPS:
-            raise KeyError(f"unknown app {app!r}; known: {sorted(_APPS)}")
+        get_adapter(app)  # fail fast before loading the graph
         cache_key = (app, dataset, impl, permuted)
         if cache_key in self._results:
             return self._results[cache_key]
-        module = _APPS[app]
-        graph = self.graph(dataset, permuted=permuted)
-        if impl == "BSP":
-            result = module.run_bsp(graph, spec=self.spec)
-        else:
-            if impl in _VARIANTS:
-                config = _VARIANTS[impl]
-            else:
-                raise KeyError(
-                    f"unknown implementation {impl!r}; known: "
-                    f"{['BSP', *sorted(_VARIANTS)]}"
-                )
-            result = module.run_atos(
-                graph, config, spec=self.spec, max_tasks=self.max_tasks
+        if impl not in CONFIGS:
+            raise KeyError(
+                f"unknown implementation {impl!r}; known: {sorted(CONFIGS)}"
             )
+        graph = self.graph(dataset, permuted=permuted)
+        result = run_app(
+            app, graph, CONFIGS[impl], spec=self.spec, max_tasks=self.max_tasks
+        )
         self._results[cache_key] = result
         return result
 
@@ -125,16 +95,15 @@ class Lab:
         permuted: bool = False,
         sink=None,
     ) -> AppResult:
-        """Run an arbitrary Atos configuration (design-space sweeps).
+        """Run an arbitrary configuration (design-space sweeps).
 
         ``sink`` attaches an observability sink (:class:`repro.obs.Collector`)
         to the run; unlike :meth:`run`, nothing here is memoised, so the
         sink always observes a fresh execution.
         """
-        module = _APPS[app]
         graph = self.graph(dataset, permuted=permuted)
-        return module.run_atos(
-            graph, config, spec=self.spec, max_tasks=self.max_tasks, sink=sink
+        return run_app(
+            app, graph, config, spec=self.spec, max_tasks=self.max_tasks, sink=sink
         )
 
     # ------------------------------------------------------------------

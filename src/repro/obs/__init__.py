@@ -25,6 +25,7 @@ from repro.obs.events import (
     GenerationEnd,
     GenerationStart,
     KernelLaunch,
+    PolicySwitch,
     QueuePop,
     QueuePush,
     QueueSteal,
@@ -53,6 +54,7 @@ __all__ = [
     "GenerationEnd",
     "KernelLaunch",
     "Barrier",
+    "PolicySwitch",
     "to_chrome_trace",
     "write_chrome_trace",
     "flat_metrics",

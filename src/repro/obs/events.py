@@ -45,6 +45,7 @@ __all__ = [
     "GenerationEnd",
     "KernelLaunch",
     "Barrier",
+    "PolicySwitch",
     "EventSink",
 ]
 
@@ -119,6 +120,20 @@ class Barrier(TraceEvent):
     """A global synchronization occupying ``[t, t + duration_ns]``."""
 
     duration_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySwitch(TraceEvent):
+    """Hybrid strategy: the scheduler crossed a frontier watermark.
+
+    ``policy`` names the mode being switched *to* (``"persistent"`` or
+    ``"discrete"``); ``items`` is the live frontier size that triggered the
+    decision; ``generation`` is the upcoming phase's ordinal.
+    """
+
+    generation: int
+    items: int
+    policy: str
 
 
 # ---------------------------------------------------------------------------

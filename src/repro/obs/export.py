@@ -32,6 +32,7 @@ from repro.obs.events import (
     GenerationEnd,
     GenerationStart,
     KernelLaunch,
+    PolicySwitch,
     QueuePop,
     QueuePush,
     QueueSteal,
@@ -195,6 +196,18 @@ def to_chrome_trace(collector: Collector, *, process_name: str = "repro") -> dic
                     "args": {"thief": e.thief, "victim": e.victim, "items": e.items},
                 }
             )
+        elif isinstance(e, PolicySwitch):
+            trace.append(
+                {
+                    "name": f"switch to {e.policy}",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": _us(e.t),
+                    "args": {"generation": e.generation, "items": e.items},
+                }
+            )
 
     for t, depth in collector.queue_depth_series():
         trace.append(
@@ -249,6 +262,7 @@ def flat_metrics(collector: Collector, *, elapsed_ns: float | None = None) -> di
         "queue_pushes": len(collector.events_of(QueuePush)),
         "queue_pops": len(collector.events_of(QueuePop)),
         "steals": len(collector.events_of(QueueSteal)),
+        "policy_switches": len(collector.events_of(PolicySwitch)),
         "max_queue_depth": int(max((d for _, d in series), default=0)),
         "final_queue_depth": int(series[-1][1]) if series else 0,
     }

@@ -15,6 +15,15 @@ workers pop from their home queue first, stealing from siblings when empty.
 from repro.queueing.mpmc import MpmcQueue, QueueStats
 from repro.queueing.broker import QueueBroker
 from repro.queueing.priority import BucketedWorklist
+from repro.queueing.protocol import Worklist, WorklistStats
 from repro.queueing.stealing import StealingWorklist
 
-__all__ = ["MpmcQueue", "QueueStats", "QueueBroker", "BucketedWorklist", "StealingWorklist"]
+__all__ = [
+    "MpmcQueue",
+    "QueueStats",
+    "QueueBroker",
+    "BucketedWorklist",
+    "StealingWorklist",
+    "Worklist",
+    "WorklistStats",
+]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.obs.events import EventSink
 from repro.queueing.mpmc import MpmcQueue
+from repro.queueing.protocol import WorklistStats
 
 __all__ = ["QueueBroker"]
 
@@ -152,3 +153,20 @@ class QueueBroker:
     def total_contention_wait(self) -> float:
         """Aggregate atomic-contention wait across all physical queues."""
         return sum(q.stats.contention_wait_ns for q in self.queues)
+
+    def stats(self) -> WorklistStats:
+        """Aggregate the physical queues' counters (``Worklist`` protocol).
+
+        A shared broker never steals, so the stealing counters are zero.
+        """
+        agg = WorklistStats()
+        for q in self.queues:
+            s = q.stats
+            agg.pushes += s.pushes
+            agg.pops += s.pops
+            agg.items_pushed += s.items_pushed
+            agg.items_popped += s.items_popped
+            agg.empty_pops += s.empty_pops
+            agg.contention_wait_ns += s.contention_wait_ns
+            agg.max_size = max(agg.max_size, s.max_size)
+        return agg

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.queueing.mpmc import MpmcQueue
+from repro.queueing.protocol import WorklistStats
 
 __all__ = ["BucketedWorklist"]
 
@@ -105,3 +106,17 @@ class BucketedWorklist:
 
     def total_contention_wait(self) -> float:
         return sum(b.stats.contention_wait_ns for b in self.buckets)
+
+    def stats(self) -> WorklistStats:
+        """Aggregate bucket counters (priority push, no stealing)."""
+        agg = WorklistStats()
+        for b in self.buckets:
+            s = b.stats
+            agg.pushes += s.pushes
+            agg.pops += s.pops
+            agg.items_pushed += s.items_pushed
+            agg.items_popped += s.items_popped
+            agg.empty_pops += s.empty_pops
+            agg.contention_wait_ns += s.contention_wait_ns
+            agg.max_size = max(agg.max_size, s.max_size)
+        return agg

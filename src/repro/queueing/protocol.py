@@ -1,0 +1,83 @@
+"""The formal ``Worklist`` protocol the scheduler runs against.
+
+The execution engine used to duck-type its way across queue
+implementations (``hasattr(q, "queues")`` to find the backing FIFOs,
+``getattr(q, "steals", 0)`` for stealing counters).  This module replaces
+that with an explicit contract: anything the scheduler can drive must
+provide ``push`` / ``pop`` / ``size`` / ``stats()``, where ``stats()``
+returns one :class:`WorklistStats` record aggregated over every physical
+queue the worklist owns.
+
+Implementations in this package:
+
+* :class:`~repro.queueing.broker.QueueBroker` — the paper's shared
+  multi-queue worklist (round-robin scatter, home-queue pop);
+* :class:`~repro.queueing.stealing.StealingWorklist` — per-group deques
+  with steal-on-empty (the distributed alternative of reference [7]);
+* :class:`~repro.queueing.priority.BucketedWorklist` — delta-stepping
+  buckets (push takes priorities, so it satisfies the stats/size half of
+  the contract and is driven by the BSP timeline rather than the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["WorklistStats", "Worklist"]
+
+
+@dataclass
+class WorklistStats:
+    """Aggregated operation counters for one logical worklist.
+
+    Sums the per-physical-queue :class:`~repro.queueing.mpmc.QueueStats`
+    plus the worklist-level stealing counters (zero for non-stealing
+    organisations), so the engine can absorb a retiring queue's counters
+    without knowing how the worklist is organised internally.
+    """
+
+    pushes: int = 0
+    pops: int = 0
+    items_pushed: int = 0
+    items_popped: int = 0
+    empty_pops: int = 0
+    contention_wait_ns: float = 0.0
+    max_size: int = 0
+    steals: int = 0
+    failed_steals: int = 0
+
+
+@runtime_checkable
+class Worklist(Protocol):
+    """What the execution engine requires of a work list.
+
+    ``push``/``pop`` carry simulated time (operations complete at the
+    returned instant); ``home`` identifies the calling worker's group for
+    organisations that care (stealing deques, home-queue brokers).
+    """
+
+    def push(self, items: np.ndarray, now: float = 0.0, *, home: int = 0) -> float:
+        """Append ``items``; returns the simulated completion time."""
+        ...
+
+    def pop(
+        self, max_items: int, now: float = 0.0, *, home: int = 0
+    ) -> tuple[np.ndarray, float]:
+        """Remove up to ``max_items``; returns ``(items, completion_time)``."""
+        ...
+
+    @property
+    def size(self) -> int:
+        """Items currently queued across all physical queues."""
+        ...
+
+    def stats(self) -> WorklistStats:
+        """Aggregated operation counters since construction."""
+        ...
+
+    def drain(self) -> np.ndarray:
+        """Snapshot-and-clear all physical queues (generation switch)."""
+        ...

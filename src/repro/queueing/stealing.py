@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.obs.events import EventSink, QueueSteal
 from repro.queueing.mpmc import MpmcQueue
+from repro.queueing.protocol import WorklistStats
 
 __all__ = ["StealingWorklist"]
 
@@ -134,3 +135,17 @@ class StealingWorklist:
 
     def total_contention_wait(self) -> float:
         return sum(d.stats.contention_wait_ns for d in self.deques)
+
+    def stats(self) -> WorklistStats:
+        """Aggregate deque counters plus steal outcomes (``Worklist`` protocol)."""
+        agg = WorklistStats(steals=self.steals, failed_steals=self.failed_steals)
+        for d in self.deques:
+            s = d.stats
+            agg.pushes += s.pushes
+            agg.pops += s.pops
+            agg.items_pushed += s.items_pushed
+            agg.items_popped += s.items_popped
+            agg.empty_pops += s.empty_pops
+            agg.contention_wait_ns += s.contention_wait_ns
+            agg.max_size = max(agg.max_size, s.max_size)
+        return agg

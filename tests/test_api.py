@@ -1,6 +1,5 @@
 """Tests for the Listing-3-style Atos façade."""
 
-import numpy as np
 import pytest
 
 from repro.core.api import Atos

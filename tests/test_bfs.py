@@ -1,6 +1,5 @@
 """Tests for BSP and speculative BFS (paper Section 5.1)."""
 
-import numpy as np
 import pytest
 
 from repro.apps import bfs

@@ -1,0 +1,117 @@
+"""Golden-equivalence guard for the ExecutionPolicy refactor.
+
+The policy extraction (``_Engine`` → :class:`repro.core.engine.ExecutionEngine`
++ :mod:`repro.core.policy`) must not perturb simulated behavior.  These
+digests were captured on the pre-refactor scheduler (one monolithic
+``run_persistent``/``run_discrete`` pair) for every named paper preset ×
+{bfs, pagerank, coloring} on the ``tiny`` dataset size; the refactored
+runtime must reproduce each event stream byte-for-byte.
+
+:meth:`repro.obs.collector.Collector.digest` is SHA-256 over the ordered
+``repr`` of every emitted event, so a matching digest pins event order,
+timestamps, worker assignment, queue depths and per-task counters all at
+once.
+
+The hybrid acceptance check (ISSUE 2 criterion) lives here too: on the
+small-frontier workloads the paper's Section 6.5 highlights (road_usa BFS,
+permuted indochina coloring), the adaptive policy must land within 5% of
+the better pure strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CONFIGS, VARIANTS
+from repro.harness.runner import Lab
+from repro.obs import Collector, PolicySwitch
+
+# (app, dataset) cells: one traversal app on a mesh, one data-centric app
+# and one speculative app on scale-free graphs — the three Table 1 app
+# families.
+CELLS = [
+    ("bfs", "roadNet-CA"),
+    ("pagerank", "soc-LiveJournal1"),
+    ("coloring", "indochina-2004"),
+]
+
+# Captured with the pre-refactor scheduler at size="tiny" (seeded graph
+# generators make these machine-independent).
+GOLDEN_DIGESTS = {
+    ("bfs", "roadNet-CA", "persist-warp"):
+        "bef672f931c225fa9dc3fd7f88718e7380b488981e531a83bb0d34c1f61f57bb",
+    ("bfs", "roadNet-CA", "persist-CTA"):
+        "a3029a94b151a9d0271b8a039ab71e75bc056559050371621ee53c3efdcbd41a",
+    ("bfs", "roadNet-CA", "discrete-CTA"):
+        "64b5cd8c3cbe3ce870611c89860c941d3bfbe43a672f4344bfb55fce06c66b3b",
+    ("bfs", "roadNet-CA", "discrete-warp"):
+        "10c19437d500e3431ad47ab5489bf42d397efe6db8ea2f1fffaf84b8845553a7",
+    ("pagerank", "soc-LiveJournal1", "persist-warp"):
+        "bbafd71cc012a74b29dff7a851d354c8d1c53d41d7284f33a4f71adb4e8b19cf",
+    ("pagerank", "soc-LiveJournal1", "persist-CTA"):
+        "bed62468a8e30fd2131033dc8a280af1b9cad5b9d8c5460ee9d2cefc11cbde0b",
+    ("pagerank", "soc-LiveJournal1", "discrete-CTA"):
+        "4449ba9e27983888eec8c2f43d37466ca8630a7231ba1e6a9fc1ebb53f7efbdf",
+    ("pagerank", "soc-LiveJournal1", "discrete-warp"):
+        "4bd2c740906e053ca1d674dd2805099a398a4d51d39c04662b18f062318ae6c8",
+    ("coloring", "indochina-2004", "persist-warp"):
+        "bc70ba49ac0551bd5144e4cf4fcaa3b7fed59207b78d948c3989f95d08afa69f",
+    ("coloring", "indochina-2004", "persist-CTA"):
+        "9eb9fb59dbde0c2917ac1d7458e76e83c2db5b8e0e9e456786a0cc7524cc80a5",
+    ("coloring", "indochina-2004", "discrete-CTA"):
+        "ddfcda4015a265e82bc13569a155a7adf5dc01ec0828b34aeda6b82b47ee47cf",
+    ("coloring", "indochina-2004", "discrete-warp"):
+        "538ba5c2f0bf7ea90bacbe3b3b4bc947f9dd813a46a9f4ffd7d5fba94101f34d",
+}
+
+
+@pytest.fixture(scope="module")
+def lab() -> Lab:
+    return Lab(size="tiny")
+
+
+@pytest.mark.parametrize("app,dataset", CELLS)
+@pytest.mark.parametrize("preset", sorted(VARIANTS))
+def test_digest_matches_pre_refactor(lab, app, dataset, preset):
+    sink = Collector()
+    lab.run_config(app, dataset, VARIANTS[preset], sink=sink)
+    assert sink.digest() == GOLDEN_DIGESTS[(app, dataset, preset)], (
+        f"{app}/{dataset}/{preset}: simulated behavior diverged from the "
+        "pre-refactor scheduler"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hybrid acceptance: within 5% of the better pure strategy on the
+# small-frontier regimes of Section 6.5
+# ---------------------------------------------------------------------------
+
+def _best_pure(lab: Lab, app: str, dataset: str, *, permuted: bool, kind: str) -> float:
+    pure = [f"persist-{kind}", f"discrete-{kind}"]
+    return min(
+        lab.run(app, dataset, impl, permuted=permuted).elapsed_ns for impl in pure
+    )
+
+
+@pytest.mark.parametrize(
+    "app,dataset,permuted,kind",
+    [
+        ("bfs", "road_usa", False, "CTA"),
+        ("coloring", "indochina-2004", True, "warp"),
+    ],
+)
+def test_hybrid_within_5pct_of_best_pure(lab, app, dataset, permuted, kind):
+    best = _best_pure(lab, app, dataset, permuted=permuted, kind=kind)
+    hybrid = lab.run(app, dataset, f"hybrid-{kind}", permuted=permuted)
+    assert hybrid.elapsed_ns <= 1.05 * best, (
+        f"hybrid-{kind} on {app}/{dataset}: {hybrid.elapsed_ns:.0f} ns vs "
+        f"best pure {best:.0f} ns"
+    )
+
+
+def test_hybrid_emits_policy_switch(lab):
+    sink = Collector()
+    lab.run_config("bfs", "road_usa", CONFIGS["hybrid-CTA"], sink=sink)
+    switches = sink.events_of(PolicySwitch)
+    assert switches, "hybrid run on a high-diameter mesh never switched policy"
+    assert switches[0].policy == "persistent"

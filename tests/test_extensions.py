@@ -9,7 +9,7 @@ from repro.analysis.frontier import (
     throughput_vs_frontier,
 )
 from repro.graph.builder import GraphBuilder
-from repro.graph.generators import grid_mesh, path_graph, rmat, star_graph
+from repro.graph.generators import path_graph, rmat, star_graph
 from repro.harness.paper_data import (
     PAPER_PERMUTATION,
     PAPER_TABLE1,

@@ -46,7 +46,13 @@ class TestLab:
 
     def test_unknown_app(self, lab):
         with pytest.raises(KeyError, match="unknown app"):
-            lab.run("sssp", "roadNet-CA", "BSP")
+            lab.run("triangle-count", "roadNet-CA", "BSP")
+
+    def test_extension_apps_runnable(self, lab):
+        # all eight registered apps — including sssp and delta-sssp, which
+        # the pre-dispatch Lab could not run — resolve through Lab.run
+        res = lab.run("sssp", "roadNet-CA", "BSP")
+        assert res.impl == "bellman-ford"
 
     def test_unknown_impl(self, lab):
         with pytest.raises(KeyError, match="unknown implementation"):

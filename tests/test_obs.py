@@ -9,7 +9,6 @@ trace-event JSON — byte-identical across re-runs.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import __main__ as cli

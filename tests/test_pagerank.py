@@ -9,7 +9,6 @@ from repro.graph.csr import from_edges
 from repro.graph.generators import (
     complete_graph,
     grid_mesh,
-    path_graph,
     rmat,
     star_graph,
 )

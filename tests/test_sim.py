@@ -5,7 +5,7 @@ import pytest
 from repro.sim.engine import EventLoop
 from repro.sim.memory import BandwidthServer
 from repro.sim.occupancy import occupancy_for
-from repro.sim.spec import FULL_V100_SPEC, V100_SPEC, GpuSpec
+from repro.sim.spec import FULL_V100_SPEC, V100_SPEC
 
 
 class TestSpec:
