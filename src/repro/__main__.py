@@ -16,6 +16,8 @@ Usage::
     python -m repro run bfs road_usa --config hybrid-CTA   # one cell, summary
     python -m repro run --list-configs       # named configurations
     python -m repro run --list-apps          # registered applications
+    python -m repro check bfs rmat8 --seeds 5    # oracle + invariant + fuzz
+    python -m repro check coloring grid_mesh --config hybrid-CTA
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
 
@@ -173,12 +175,123 @@ def _run_run(argv: list[str]) -> int:
     return 0
 
 
+def _build_check_parser() -> argparse.ArgumentParser:
+    from repro.check.oracles import oracle_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description=(
+            "Validate one app x dataset cell: run under each named config, "
+            "check the answer against the app's oracle with an invariant "
+            "monitor attached, then run the schedule-perturbation fuzzer."
+        ),
+    )
+    parser.add_argument("app", choices=oracle_names())
+    parser.add_argument(
+        "dataset",
+        help="dataset name/alias (e.g. roadnet_ca_sim) or a test graph (rmat8, grid_mesh)",
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help="named config to check (repeatable; default: every engine-level preset)",
+    )
+    parser.add_argument("--seeds", type=int, default=10, help="fuzzer seeds (default 10)")
+    parser.add_argument(
+        "--amplitude", type=float, default=200.0, help="perturbation amplitude in ns"
+    )
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    return parser
+
+
+def _check_graph(dataset: str, size: str):
+    """Resolve a dataset alias, or build one of the small test graphs.
+
+    ``rmat8`` / ``grid_mesh`` are the fuzzer's reference graphs (as in
+    ``tests/``): small enough that a multi-seed fuzz finishes in seconds.
+    They are symmetrized so every app (k-core needs an undirected graph)
+    accepts them.
+    """
+    from repro.graph.generators import grid_mesh, rmat
+
+    if dataset == "rmat8":
+        g = rmat(8, edge_factor=6, seed=7, name="rmat8")
+        return g if g.is_symmetric() else g.symmetrize()
+    if dataset == "grid_mesh":
+        return grid_mesh(8, 6)
+    from repro.graph.datasets import load_dataset, resolve_dataset
+
+    return load_dataset(resolve_dataset(dataset), size)
+
+
+def _run_check(argv: list[str]) -> int:
+    from repro.apps.common import get_adapter, run_app
+    from repro.check.fuzz import fuzz_app
+    from repro.check.invariants import InvariantMonitor
+    from repro.check.oracles import validate
+    from repro.core.config import CONFIGS, variant_by_name
+    from repro.core.policy import policy_for
+    from repro.sim.spec import V100_SPEC
+
+    args = _build_check_parser().parse_args(argv)
+    graph = _check_graph(args.dataset, args.size)
+    bsp_only = get_adapter(args.app).make_kernel is None
+    if args.config:
+        configs = [variant_by_name(name) for name in args.config]
+    elif bsp_only:
+        configs = [CONFIGS["BSP"]]
+    else:
+        configs = [
+            cfg for cfg in CONFIGS.values() if not policy_for(cfg).app_level
+        ]
+    failures = 0
+
+    print(f"check {args.app} on {graph.name} ({graph.num_vertices} vertices)")
+    for config in configs:
+        if policy_for(config).app_level:
+            result = run_app(args.app, graph, config, spec=V100_SPEC)
+            report = validate(args.app, graph, result)
+            bad = [str(c) for c in report.failures]
+        else:
+            monitor = InvariantMonitor()
+            result = run_app(args.app, graph, config, spec=V100_SPEC, sink=monitor)
+            monitor.reconcile(result)
+            report = validate(args.app, graph, result)
+            bad = [str(v) for v in monitor.violations] + [str(c) for c in report.failures]
+        status = "PASS" if not bad else "FAIL (" + "; ".join(bad[:4]) + ")"
+        if bad:
+            failures += 1
+        print(f"  {config.name:14s} oracle+invariants {status}")
+
+    fuzz_configs = [c for c in configs if not policy_for(c).app_level]
+    for config in fuzz_configs[:2]:  # fuzz the first two engine configs requested
+        report = fuzz_app(
+            args.app,
+            graph,
+            config,
+            seeds=args.seeds,
+            amplitude_ns=args.amplitude,
+            spec=V100_SPEC,
+        )
+        if not report.ok:
+            failures += 1
+        print(report.summary())
+    if failures:
+        print(f"check FAILED: {failures} failing cell(s)")
+        return 1
+    print("check PASSED")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
     if argv and argv[0] == "run":
         return _run_run(argv[1:])
+    if argv and argv[0] == "check":
+        return _run_check(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

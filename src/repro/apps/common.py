@@ -154,6 +154,10 @@ def _base_extra(res: RunResult) -> dict[str, Any]:
         "steals": res.steals,
         "failed_steals": res.failed_steals,
         "policy_switches": res.policy_switches,
+        "queue_pushes": res.queue_pushes,
+        "queue_pops": res.queue_pops,
+        "queue_items_pushed": res.queue_items_pushed,
+        "queue_items_popped": res.queue_items_popped,
     }
 
 
@@ -165,6 +169,8 @@ def run_app(
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
     sink=None,
+    validate: bool = False,
+    perturb=None,
     **params,
 ) -> AppResult:
     """Run application ``app`` on ``graph`` under ``config``'s policy.
@@ -174,13 +180,28 @@ def run_app(
     run`` CLI.  ``params`` are forwarded to the adapter's kernel factory
     (or, for the BSP policy, to its frontier engine): e.g. ``source=`` for
     BFS/SSSP, ``epsilon=`` for PageRank.
+
+    ``validate=True`` checks the finished output against the app's answer
+    oracle (:func:`repro.check.oracles.validate`) and raises
+    :class:`repro.check.oracles.OracleError` on a wrong answer — works
+    for every policy, BSP included.  ``perturb`` is the engine's
+    pop-stagger hook (see :meth:`~repro.core.engine.ExecutionEngine.pop_stagger`);
+    it requires an engine-level policy.
     """
     adapter = get_adapter(app)
     policy = policy_for(config)
     if policy.app_level:
         if adapter.bsp is None:
             raise ValueError(f"app {app!r} has no BSP implementation")
-        return adapter.bsp(graph, spec=spec, **params)
+        if perturb is not None:
+            raise ValueError(
+                f"policy {policy.name!r} runs at application level; "
+                "perturb requires an engine-level policy"
+            )
+        result = adapter.bsp(graph, spec=spec, **params)
+        if validate:
+            _validate_output(app, graph, result, params)
+        return result
     if adapter.make_kernel is None:
         raise ValueError(
             f"app {app!r} is BSP-only and cannot run under an Atos policy"
@@ -189,12 +210,13 @@ def run_app(
         config = adapter.tune_config(config)
     kernel = adapter.make_kernel(graph, **params)
     res = run_policy(
-        kernel, config, policy=policy, spec=spec, max_tasks=max_tasks, sink=sink
+        kernel, config, policy=policy, spec=spec, max_tasks=max_tasks, sink=sink,
+        perturb=perturb,
     )
     extra = _base_extra(res)
     if adapter.extra is not None:
         extra.update(adapter.extra(kernel))
-    return AppResult(
+    result = AppResult(
         app=adapter.name,
         impl=config.name,
         dataset=graph.name,
@@ -207,3 +229,17 @@ def run_app(
         trace=res.trace,
         extra=extra,
     )
+    if validate:
+        _validate_output(app, graph, result, params)
+    return result
+
+
+def _validate_output(app: str, graph, result: AppResult, params: dict) -> None:
+    """Oracle-check a finished run (raises on a wrong answer).
+
+    Imported lazily: :mod:`repro.check` depends on this module for the
+    fuzzer's run plumbing, so the import must not run at module load.
+    """
+    from repro.check.oracles import validate as oracle_validate
+
+    oracle_validate(app, graph, result, **params).assert_valid()

@@ -1,0 +1,56 @@
+"""Independent correctness machinery for the Atos reproduction.
+
+Atos's central claim (Section 6) is that relaxed, asynchronously-scheduled
+execution — stale reads between concurrently-resident workers,
+priority-relaxed pops — still converges to *correct* results.  The golden
+digests in ``tests/test_equivalence.py`` pin that nothing *changed*; this
+package checks that what the schedulers compute is *right*, with three
+independent layers:
+
+* :mod:`repro.check.oracles` — pure-NumPy reference answers and validity
+  predicates for every application, behind one entry point
+  (:func:`validate`);
+* :mod:`repro.check.invariants` — :class:`InvariantMonitor`, an
+  :class:`~repro.obs.events.EventSink` that asserts discrete-event-model
+  invariants (queue item conservation, per-worker clock monotonicity,
+  slot occupancy bounds, policy-switch consistency) over a live run;
+* :mod:`repro.check.fuzz` — a schedule-perturbation fuzzer that re-runs an
+  app × config cell under N seeded pop-timing perturbations and asserts
+  the oracles and invariants hold under every legal interleaving.
+
+CLI: ``python -m repro check <app> <dataset>``.  See
+``docs/verification.md`` for the oracle definitions and fuzzer usage.
+"""
+
+from repro.check.fuzz import FuzzReport, FuzzRun, fuzz_app, perturbation
+from repro.check.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    Violation,
+    verify_queue_conservation,
+)
+from repro.check.oracles import (
+    CheckResult,
+    OracleError,
+    ValidationReport,
+    oracle_names,
+    register_oracle,
+    validate,
+)
+
+__all__ = [
+    "CheckResult",
+    "OracleError",
+    "ValidationReport",
+    "oracle_names",
+    "register_oracle",
+    "validate",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Violation",
+    "verify_queue_conservation",
+    "FuzzReport",
+    "FuzzRun",
+    "fuzz_app",
+    "perturbation",
+]

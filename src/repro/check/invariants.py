@@ -1,0 +1,469 @@
+"""Live discrete-event-model invariant checking over the obs stream.
+
+:class:`InvariantMonitor` is an :class:`~repro.obs.events.EventSink`: pass
+it as the ``sink=`` of any run and it asserts, event by event, that the
+simulation respects the model's conservation and ordering laws:
+
+* **queue conservation** — every :class:`~repro.obs.events.QueuePush` /
+  :class:`~repro.obs.events.QueuePop` must move the queue's reported
+  depth by exactly its item count, the tracked depth never goes negative,
+  and an :class:`~repro.obs.events.EmptyPop` may only happen on a queue
+  the event stream says is empty.  (``drain`` emits no event and is
+  terminal for a queue in every shipped policy — generation and phase
+  queues are named uniquely and never reused after a drain; the stats-side
+  equation covering drains is :func:`verify_queue_conservation`.)
+* **clock monotonicity** — per queue, each atomic's completion times are
+  non-decreasing (push stream and pop/empty-pop stream serialize on
+  separate atomics); per worker slot, the TaskPop → TaskRead →
+  TaskComplete lifecycle never steps backwards in simulated time.
+* **slot occupancy** — a worker holds at most one task (a second TaskPop
+  before its TaskComplete is double occupancy), tasks in flight never
+  exceed ``worker_slots``, and reads/completes only happen on a busy slot.
+* **policy-switch consistency** — :class:`~repro.obs.events.PolicySwitch`
+  events alternate persistent ↔ discrete starting with ``"persistent"``
+  (the hybrid strategy's resting mode is discrete), carry non-decreasing
+  times and generation ordinals, and only fire at a quiescent boundary
+  (no task in flight); generation brackets pair up un-nested with
+  strictly increasing ordinals.
+
+Violations are collected (``strict=False``, the default) or raised
+immediately as :class:`InvariantViolation` (``strict=True``).  After the
+run, :meth:`InvariantMonitor.reconcile` cross-checks the event totals
+against the run's counter block — the same numbers derived two
+independent ways.  ``forward=`` chains another sink (e.g. a
+:class:`~repro.obs.collector.Collector`) so monitoring does not preclude
+trace capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import (
+    Barrier,
+    EmptyPop,
+    EventSink,
+    GenerationEnd,
+    GenerationStart,
+    KernelLaunch,
+    PolicySwitch,
+    QueuePop,
+    QueuePush,
+    QueueSteal,
+    TaskComplete,
+    TaskPop,
+    TaskRead,
+    TraceEvent,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "Violation",
+    "InvariantMonitor",
+    "verify_queue_conservation",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A run broke a discrete-event-model invariant."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    rule: str
+    detail: str
+    event: TraceEvent | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+_IDLE, _POPPED, _READING = 0, 1, 2
+
+
+class InvariantMonitor:
+    """EventSink asserting conservation/ordering laws over a live run."""
+
+    def __init__(
+        self,
+        *,
+        worker_slots: int | None = None,
+        forward: EventSink | None = None,
+        strict: bool = False,
+    ) -> None:
+        self.worker_slots = worker_slots
+        self.forward = forward
+        self.strict = strict
+        self.violations: list[Violation] = []
+        # per-queue state (keyed by physical queue name)
+        self._depth: dict[str, int] = {}
+        self._push_t: dict[str, float] = {}
+        self._pop_t: dict[str, float] = {}
+        # per-worker state
+        self._worker_state: dict[int, int] = {}
+        self._worker_t: dict[int, float] = {}
+        self.in_flight = 0
+        self.max_in_flight = 0
+        # policy / generation state
+        self._last_switch: PolicySwitch | None = None
+        self._open_generation: int | None = None
+        self._last_generation = 0
+        # event totals for reconcile()
+        self.counts: dict[str, int] = {
+            "task_pops": 0,
+            "task_reads": 0,
+            "task_completes": 0,
+            "queue_pushes": 0,
+            "queue_pops": 0,
+            "empty_pops": 0,
+            "steals": 0,
+            "kernel_launches": 0,
+            "policy_switches": 0,
+        }
+        self.items_retired = 0
+        self.queue_items_pushed = 0
+        self.queue_items_popped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantViolation` if anything was flagged."""
+        if self.violations:
+            lines = "; ".join(str(v) for v in self.violations[:10])
+            more = len(self.violations) - 10
+            if more > 0:
+                lines += f"; … and {more} more"
+            raise InvariantViolation(f"{len(self.violations)} invariant violation(s): {lines}")
+
+    def _flag(self, rule: str, detail: str, event: TraceEvent | None = None) -> None:
+        v = Violation(rule=rule, detail=detail, event=event)
+        self.violations.append(v)
+        if self.strict:
+            raise InvariantViolation(str(v))
+
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        if isinstance(event, QueuePush):
+            self._on_queue_push(event)
+        elif isinstance(event, QueuePop):
+            self._on_queue_pop(event)
+        elif isinstance(event, EmptyPop):
+            self._on_empty_pop(event)
+        elif isinstance(event, TaskPop):
+            self._on_task_pop(event)
+        elif isinstance(event, TaskRead):
+            self._on_task_read(event)
+        elif isinstance(event, TaskComplete):
+            self._on_task_complete(event)
+        elif isinstance(event, PolicySwitch):
+            self._on_policy_switch(event)
+        elif isinstance(event, GenerationStart):
+            self._on_generation_start(event)
+        elif isinstance(event, GenerationEnd):
+            self._on_generation_end(event)
+        elif isinstance(event, QueueSteal):
+            self.counts["steals"] += 1
+        elif isinstance(event, KernelLaunch):
+            self.counts["kernel_launches"] += 1
+        elif isinstance(event, Barrier):
+            pass
+        if self.forward is not None:
+            self.forward.emit(event)
+
+    # -- queue layer ---------------------------------------------------
+    def _on_queue_push(self, ev: QueuePush) -> None:
+        self.counts["queue_pushes"] += 1
+        self.queue_items_pushed += ev.items
+        prev = self._depth.get(ev.queue, 0)
+        if ev.depth != prev + ev.items:
+            self._flag(
+                "queue-conservation",
+                f"push of {ev.items} moved {ev.queue!r} depth {prev} -> {ev.depth} "
+                f"(expected {prev + ev.items})",
+                ev,
+            )
+        self._depth[ev.queue] = ev.depth
+        last = self._push_t.get(ev.queue)
+        if last is not None and ev.t < last:
+            self._flag(
+                "queue-clock",
+                f"push on {ev.queue!r} completed at t={ev.t} before prior push t={last}",
+                ev,
+            )
+        self._push_t[ev.queue] = ev.t
+
+    def _on_queue_pop(self, ev: QueuePop) -> None:
+        self.counts["queue_pops"] += 1
+        self.queue_items_popped += ev.items
+        prev = self._depth.get(ev.queue, 0)
+        expected = prev - ev.items
+        if ev.depth != expected or expected < 0:
+            self._flag(
+                "queue-conservation",
+                f"pop of {ev.items} moved {ev.queue!r} depth {prev} -> {ev.depth} "
+                f"(expected {expected})",
+                ev,
+            )
+        self._depth[ev.queue] = ev.depth
+        self._check_pop_clock(ev.queue, ev.t, ev)
+
+    def _on_empty_pop(self, ev: EmptyPop) -> None:
+        self.counts["empty_pops"] += 1
+        prev = self._depth.get(ev.queue, 0)
+        if prev != 0:
+            self._flag(
+                "queue-conservation",
+                f"empty pop on {ev.queue!r} while tracked depth is {prev}",
+                ev,
+            )
+        self._check_pop_clock(ev.queue, ev.t, ev)
+
+    def _check_pop_clock(self, queue: str, t: float, ev: TraceEvent) -> None:
+        last = self._pop_t.get(queue)
+        if last is not None and t < last:
+            self._flag(
+                "queue-clock",
+                f"pop on {queue!r} completed at t={t} before prior pop t={last}",
+                ev,
+            )
+        self._pop_t[queue] = t
+
+    # -- worker layer --------------------------------------------------
+    def _check_worker_clock(self, worker: int, t: float, ev: TraceEvent) -> None:
+        last = self._worker_t.get(worker)
+        if last is not None and t < last:
+            self._flag(
+                "worker-clock",
+                f"worker {worker} stepped back in time: t={t} after t={last}",
+                ev,
+            )
+        self._worker_t[worker] = t
+
+    def _on_task_pop(self, ev: TaskPop) -> None:
+        self.counts["task_pops"] += 1
+        self._check_worker_clock(ev.worker, ev.t, ev)
+        if self.worker_slots is not None and not (0 <= ev.worker < self.worker_slots):
+            self._flag(
+                "slot-occupancy",
+                f"pop on worker {ev.worker} outside slot range [0, {self.worker_slots})",
+                ev,
+            )
+        if self._worker_state.get(ev.worker, _IDLE) != _IDLE:
+            self._flag(
+                "slot-occupancy",
+                f"worker {ev.worker} popped a task while one is in flight",
+                ev,
+            )
+        else:
+            self.in_flight += 1
+        self._worker_state[ev.worker] = _POPPED
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        if self.worker_slots is not None and self.in_flight > self.worker_slots:
+            self._flag(
+                "slot-occupancy",
+                f"{self.in_flight} tasks in flight exceeds worker_slots={self.worker_slots}",
+                ev,
+            )
+
+    def _on_task_read(self, ev: TaskRead) -> None:
+        self.counts["task_reads"] += 1
+        self._check_worker_clock(ev.worker, ev.t, ev)
+        state = self._worker_state.get(ev.worker, _IDLE)
+        if state != _POPPED:
+            self._flag(
+                "task-lifecycle",
+                f"read on worker {ev.worker} without a pending pop (state={state})",
+                ev,
+            )
+        self._worker_state[ev.worker] = _READING
+
+    def _on_task_complete(self, ev: TaskComplete) -> None:
+        self.counts["task_completes"] += 1
+        self.items_retired += ev.retired
+        self._check_worker_clock(ev.worker, ev.t, ev)
+        state = self._worker_state.get(ev.worker, _IDLE)
+        if state == _IDLE:
+            self._flag(
+                "task-lifecycle",
+                f"completion on idle worker {ev.worker}",
+                ev,
+            )
+        else:
+            self.in_flight -= 1
+        self._worker_state[ev.worker] = _IDLE
+
+    # -- policy / generation layer -------------------------------------
+    def _on_policy_switch(self, ev: PolicySwitch) -> None:
+        self.counts["policy_switches"] += 1
+        prev = self._last_switch
+        if prev is None:
+            if ev.policy != "persistent":
+                self._flag(
+                    "policy-switch",
+                    f"first switch must enter persistent mode, got {ev.policy!r}",
+                    ev,
+                )
+        else:
+            if ev.policy == prev.policy:
+                self._flag(
+                    "policy-switch",
+                    f"consecutive switches to {ev.policy!r} (must alternate)",
+                    ev,
+                )
+            if ev.t < prev.t:
+                self._flag(
+                    "policy-switch",
+                    f"switch at t={ev.t} before prior switch t={prev.t}",
+                    ev,
+                )
+            if ev.generation < prev.generation:
+                self._flag(
+                    "policy-switch",
+                    f"switch generation regressed {prev.generation} -> {ev.generation}",
+                    ev,
+                )
+        if self.in_flight != 0:
+            self._flag(
+                "policy-switch",
+                f"switch with {self.in_flight} tasks in flight (boundary must be quiescent)",
+                ev,
+            )
+        self._last_switch = ev
+
+    def _on_generation_start(self, ev: GenerationStart) -> None:
+        if self._open_generation is not None:
+            self._flag(
+                "generation-bracket",
+                f"generation {ev.generation} started inside open generation "
+                f"{self._open_generation}",
+                ev,
+            )
+        if ev.generation <= self._last_generation:
+            self._flag(
+                "generation-bracket",
+                f"generation ordinal regressed {self._last_generation} -> {ev.generation}",
+                ev,
+            )
+        if self.in_flight != 0:
+            self._flag(
+                "generation-bracket",
+                f"generation {ev.generation} started with {self.in_flight} tasks in flight",
+                ev,
+            )
+        self._open_generation = ev.generation
+        self._last_generation = max(self._last_generation, ev.generation)
+
+    def _on_generation_end(self, ev: GenerationEnd) -> None:
+        if self._open_generation != ev.generation:
+            self._flag(
+                "generation-bracket",
+                f"generation {ev.generation} ended but {self._open_generation} is open",
+                ev,
+            )
+        if self.in_flight != 0:
+            self._flag(
+                "generation-bracket",
+                f"generation {ev.generation} ended with {self.in_flight} tasks in flight",
+                ev,
+            )
+        self._open_generation = None
+
+    # ------------------------------------------------------------------
+    def reconcile(self, result: Any) -> None:
+        """Cross-check the event totals against a finished run's counters.
+
+        ``result`` is a :class:`~repro.core.engine.RunResult` or an
+        :class:`~repro.apps.common.AppResult` (whose scheduler counters
+        live in ``extra``).  Every discrepancy is flagged as a
+        ``counter-reconcile`` violation: these numbers are accumulated by
+        the engine and derived from the event stream independently, so a
+        mismatch means a counter (or an emit point) lies.
+        """
+        extra = getattr(result, "extra", None)
+
+        def counter(name: str) -> Any:
+            if extra is not None and name in extra:
+                return extra[name]
+            return getattr(result, name, None)
+
+        if self.in_flight != 0:
+            self._flag(
+                "counter-reconcile",
+                f"{self.in_flight} tasks still in flight at reconcile",
+            )
+        if self._open_generation is not None:
+            self._flag(
+                "counter-reconcile",
+                f"generation {self._open_generation} never ended",
+            )
+        pairs = [
+            ("total_tasks", self.counts["task_pops"]),
+            ("items_retired", self.items_retired),
+            ("empty_pops", self.counts["empty_pops"]),
+            ("queue_pushes", self.counts["queue_pushes"]),
+            ("queue_pops", self.counts["queue_pops"]),
+            ("queue_items_pushed", self.queue_items_pushed),
+            ("queue_items_popped", self.queue_items_popped),
+            ("steals", self.counts["steals"]),
+            ("kernel_launches", self.counts["kernel_launches"]),
+            ("policy_switches", self.counts["policy_switches"]),
+        ]
+        for name, observed in pairs:
+            reported = counter(name)
+            if reported is None:
+                continue
+            if int(reported) != int(observed):
+                self._flag(
+                    "counter-reconcile",
+                    f"{name}: run reports {reported}, event stream shows {observed}",
+                )
+        if self.counts["task_pops"] != self.counts["task_completes"]:
+            self._flag(
+                "counter-reconcile",
+                f"{self.counts['task_pops']} pops vs "
+                f"{self.counts['task_completes']} completions",
+            )
+        slots = counter("worker_slots")
+        if slots is not None and self.max_in_flight > int(slots):
+            self._flag(
+                "counter-reconcile",
+                f"peak {self.max_in_flight} tasks in flight exceeds "
+                f"worker_slots={slots}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Stats-side conservation (covers drains, which emit no event)
+# ---------------------------------------------------------------------------
+
+def verify_queue_conservation(worklist: Any) -> None:
+    """Assert the item-conservation equation on a queue or worklist.
+
+    For every physical :class:`~repro.queueing.mpmc.MpmcQueue` ``q``::
+
+        q.stats.items_pushed == q.stats.items_popped
+                                + q.stats.items_drained + q.size
+
+    (see the ``MpmcQueue`` docstring).  Accepts a bare queue, a
+    :class:`~repro.queueing.broker.QueueBroker` (``.queues``) or a
+    :class:`~repro.queueing.stealing.StealingWorklist` (``.deques``).
+    Raises :class:`InvariantViolation` on the first imbalance.
+    """
+    physical = getattr(worklist, "queues", None) or getattr(worklist, "deques", None)
+    if physical is None:
+        physical = [worklist]
+    for q in physical:
+        s = q.stats
+        balance = s.items_popped + s.items_drained + q.size
+        if s.items_pushed != balance:
+            raise InvariantViolation(
+                f"queue {q.name!r} leaks items: pushed {s.items_pushed} != "
+                f"popped {s.items_popped} + drained {s.items_drained} "
+                f"+ live {q.size}"
+            )

@@ -15,7 +15,13 @@ surface so that *policies* (:mod:`repro.core.policy`) can compose it:
 * :meth:`ExecutionEngine.drain_events` accepts an optional ``stop_when``
   predicate: when it fires, the engine stops issuing new pops and lets
   in-flight tasks retire — the mechanism the hybrid policy uses to
-  interrupt a persistent phase whose queue has grown past its watermark.
+  interrupt a persistent phase whose queue has grown past its watermark;
+* every pop-issue instant flows through :meth:`ExecutionEngine.pop_stagger`,
+  which adds the mode's hardware-scheduler jitter plus an optional
+  **perturbation hook** (``perturb=``) — a deterministic, non-negative
+  extra delay per ``(worker, seq)`` that the schedule-perturbation fuzzer
+  (:mod:`repro.check.fuzz`) uses to explore alternative, model-legal
+  interleavings without touching any other mechanism.
 
 Everything observable (event order, timestamps, counters) is identical to
 the pre-refactor ``_Engine`` for the persistent and discrete policies;
@@ -25,6 +31,7 @@ the pre-refactor ``_Engine`` for the persistent and discrete policies;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -79,6 +86,12 @@ class RunResult:
     #: work-stealing counters (zero under the shared-queue worklist)
     steals: int = 0
     failed_steals: int = 0
+    #: item-level conservation counters (pushes/pops above count *operations*;
+    #: these count *items*, so ``queue_items_pushed >= items_retired`` must
+    #: hold for any run — every retired item was pushed exactly once, while
+    #: items can be pushed and then drained at a policy switch or left behind)
+    queue_items_pushed: int = 0
+    queue_items_popped: int = 0
     #: hybrid strategy: number of discrete↔persistent crossovers
     policy_switches: int = 0
     trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
@@ -130,12 +143,14 @@ class ExecutionEngine:
         max_tasks: int,
         *,
         sink: EventSink | None = None,
+        perturb: Callable[[int, int], float] | None = None,
     ) -> None:
         self.kernel = kernel
         self.config = config
         self.spec = spec
         self.max_tasks = max_tasks
         self.sink = sink
+        self.perturb = perturb
         self.mem = BandwidthServer(spec.mem_edges_per_ns)
         self.loop = EventLoop()
         self.trace = ThroughputTrace()
@@ -161,6 +176,8 @@ class ExecutionEngine:
         self.q_contention_ns = 0.0
         self.q_steals = 0
         self.q_failed_steals = 0
+        self.q_items_pushed = 0
+        self.q_items_popped = 0
 
     # ------------------------------------------------------------------
     def set_mode(self, *, persistent: bool) -> None:
@@ -190,6 +207,8 @@ class ExecutionEngine:
         self.q_contention_ns += s.contention_wait_ns
         self.q_steals += s.steals
         self.q_failed_steals += s.failed_steals
+        self.q_items_pushed += s.items_pushed
+        self.q_items_popped += s.items_popped
 
     def new_queue(self, name: str) -> Worklist:
         self.absorb_queue_stats()  # retire the previous generation's queue
@@ -210,6 +229,21 @@ class ExecutionEngine:
                 sink=self.sink,
             )
         return self.queue
+
+    def pop_stagger(self, worker: int, seq: int) -> float:
+        """Delay before a worker's next pop is issued.
+
+        The base term is the mode's hardware-scheduler jitter
+        (:func:`_jitter`; zero in discrete mode).  The optional
+        ``perturb`` hook adds a further non-negative, deterministic delay —
+        the fuzzer's lever for exploring alternative pop interleavings.
+        Negative hook values are clamped: the event loop cannot schedule
+        into the past, and the model only permits *delaying* a pop.
+        """
+        jit = _jitter(worker, seq, self.jitter_amp)
+        if self.perturb is not None:
+            jit += max(0.0, float(self.perturb(worker, seq)))
+        return jit
 
     def try_pop(self, worker: int, t: float) -> bool:
         """Attempt a pop; on success schedules the task's READ event."""
@@ -250,7 +284,7 @@ class ExecutionEngine:
         """Hand queued work to parked workers."""
         while self.idle and self.queue.size > 0:
             worker = self.idle.pop()
-            if not self.try_pop(worker, t + _jitter(worker, self.pop_seq, self.jitter_amp)):
+            if not self.try_pop(worker, t + self.pop_stagger(worker, self.pop_seq)):
                 break
 
     def seed_workers(self, t: float) -> None:
@@ -258,7 +292,7 @@ class ExecutionEngine:
         needed = min(self.slots, max(1, -(-self.queue.size // self.config.fetch_size)))
         for w in range(self.slots):
             if w < needed:
-                self.try_pop(w, t + _jitter(w, 0, self.jitter_amp))
+                self.try_pop(w, t + self.pop_stagger(w, 0))
             else:
                 self.idle.append(w)
 
@@ -312,7 +346,7 @@ class ExecutionEngine:
             if stopped:
                 self.idle.append(worker)
                 continue
-            jit = _jitter(worker, self.pop_seq, self.jitter_amp)
+            jit = self.pop_stagger(worker, self.pop_seq)
             self.try_pop(worker, t + jit)
             self.wake_idle(t)
         assert self.in_flight == 0, "event loop drained with tasks in flight"
@@ -349,6 +383,8 @@ class ExecutionEngine:
             queue_pops=self.q_pops,
             steals=self.q_steals,
             failed_steals=self.q_failed_steals,
+            queue_items_pushed=self.q_items_pushed,
+            queue_items_popped=self.q_items_popped,
             policy_switches=policy_switches,
             trace=self.trace,
             config_name=self.config.name,

@@ -430,8 +430,14 @@ def run_policy(
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
     sink: EventSink | None = None,
+    perturb: Callable[[int, int], float] | None = None,
 ) -> RunResult:
-    """Execute ``kernel`` under ``config``'s policy (or an explicit one)."""
+    """Execute ``kernel`` under ``config``'s policy (or an explicit one).
+
+    ``perturb`` is forwarded to the engine's pop-stagger hook (see
+    :meth:`ExecutionEngine.pop_stagger`); ``None`` leaves timing
+    bit-identical to the unhooked engine.
+    """
     if policy is None:
         policy = policy_for(config)
     if policy.app_level:
@@ -439,7 +445,7 @@ def run_policy(
             f"policy {policy.name!r} runs at application level; "
             "use repro.apps.common.run_app"
         )
-    eng = ExecutionEngine(kernel, config, spec, max_tasks, sink=sink)
+    eng = ExecutionEngine(kernel, config, spec, max_tasks, sink=sink, perturb=perturb)
     out = policy.execute(eng)
     return eng.build_result(
         elapsed_ns=out.elapsed_ns,

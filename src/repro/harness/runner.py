@@ -48,6 +48,9 @@ class Lab:
     size: str = "default"
     spec: GpuSpec = field(default_factory=lambda: V100_SPEC)
     max_tasks: int = 20_000_000
+    #: oracle-check every run's output (repro.check.oracles); wrong
+    #: answers raise instead of silently feeding a table
+    validate: bool = False
 
     def __post_init__(self) -> None:
         self._graphs: dict[str, Csr] = {}
@@ -81,7 +84,12 @@ class Lab:
             )
         graph = self.graph(dataset, permuted=permuted)
         result = run_app(
-            app, graph, CONFIGS[impl], spec=self.spec, max_tasks=self.max_tasks
+            app,
+            graph,
+            CONFIGS[impl],
+            spec=self.spec,
+            max_tasks=self.max_tasks,
+            validate=self.validate,
         )
         self._results[cache_key] = result
         return result
@@ -103,7 +111,13 @@ class Lab:
         """
         graph = self.graph(dataset, permuted=permuted)
         return run_app(
-            app, graph, config, spec=self.spec, max_tasks=self.max_tasks, sink=sink
+            app,
+            graph,
+            config,
+            spec=self.spec,
+            max_tasks=self.max_tasks,
+            sink=sink,
+            validate=self.validate,
         )
 
     # ------------------------------------------------------------------

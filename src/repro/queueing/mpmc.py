@@ -14,6 +14,20 @@ it.  :attr:`QueueStats.contention_wait_ns` accumulates the induced waiting
 so experiments can report how far a single shared queue is from becoming
 the bottleneck (it never is, in the paper and in our runs — but the model
 lets us check rather than assume).
+
+Conservation
+------------
+Items leave a queue by exactly two routes — :meth:`MpmcQueue.pop` (counted
+in :attr:`QueueStats.items_popped`) and :meth:`MpmcQueue.drain` (counted in
+:attr:`QueueStats.items_drained`, deliberately *not* in ``items_popped``:
+a drain is a host-side generation snapshot, not a worker pop, and the
+broker's order-preserving drain needs the two counted separately).  So at
+any instant every queue satisfies::
+
+    stats.items_pushed == stats.items_popped + stats.items_drained + size
+
+:func:`repro.check.invariants.verify_queue_conservation` asserts this
+equation; ``tests/test_check_invariants.py`` exercises it.
 """
 
 from __future__ import annotations
@@ -204,7 +218,12 @@ class MpmcQueue:
 
     def drain(self) -> np.ndarray:
         """Remove and return everything (no timing; used by discrete mode
-        to snapshot a generation and by tests)."""
+        to snapshot a generation and by tests).
+
+        Drained items bypass ``stats.items_popped`` by design — they are
+        accounted in ``stats.items_drained``, keeping the conservation
+        equation ``items_pushed == items_popped + items_drained + size``
+        exact (see the module docstring)."""
         out = self._buf[self._head : self._tail].copy()
         self._head = self._tail = 0
         self.stats.items_drained += out.size

@@ -269,3 +269,63 @@ class TestConfigValidation:
         cfg = AtosConfig(strategy=KernelStrategy.HYBRID)
         assert cfg.hybrid_low_watermark == 0
         assert cfg.is_hybrid
+
+
+# ---------------------------------------------------------------------------
+# Hybrid property test: any watermark pair preserves answers and alternation
+# ---------------------------------------------------------------------------
+
+class TestHybridWatermarkProperty:
+    """Random watermark draws: switching is an optimization, not a semantics.
+
+    For any (low, high) watermark pair the hybrid policy must (a) emit
+    switches that strictly alternate persistent/discrete starting with
+    "persistent", (b) satisfy every engine invariant, and (c) retire
+    exactly the work a pure-discrete run retires — switching changes the
+    schedule, never the computation.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_watermarks(self, seed):
+        rng = np.random.default_rng(seed)
+        low = int(rng.integers(1, 80))
+        high = low + int(rng.integers(1, 200))
+        cfg = _hybrid_config().with_overrides(
+            hybrid_low_watermark=low, hybrid_high_watermark=high
+        )
+        from repro.check.invariants import InvariantMonitor
+
+        sink = Collector()
+        monitor = InvariantMonitor(forward=sink)
+        kernel = ChainBurstKernel()
+        res = run_policy(kernel, cfg, sink=monitor)
+        monitor.reconcile(res)
+        assert monitor.ok, [str(v) for v in monitor.violations]
+
+        directions = [s.policy for s in sink.events_of(PolicySwitch)]
+        expected = ["persistent", "discrete"] * len(directions)
+        assert directions == expected[: len(directions)], (
+            f"watermarks ({low}, {high}): switches {directions} do not "
+            "alternate persistent/discrete"
+        )
+
+        baseline = run_policy(
+            ChainBurstKernel(), cfg.with_overrides(strategy=KernelStrategy.DISCRETE)
+        )
+        assert res.items_retired == baseline.items_retired
+        assert res.work_units == baseline.work_units
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_random_watermarks_bfs_answers(self, seed, small_rmat):
+        # same property on a real app: the hybrid answer equals discrete's
+        from repro.apps.common import run_app
+
+        rng = np.random.default_rng(seed)
+        low = int(rng.integers(1, 40))
+        high = low + int(rng.integers(1, 120))
+        hybrid_cfg = CONFIGS["hybrid-CTA"].with_overrides(
+            hybrid_low_watermark=low, hybrid_high_watermark=high
+        )
+        hybrid = run_app("bfs", small_rmat, hybrid_cfg, validate=True)
+        discrete = run_app("bfs", small_rmat, CONFIGS["discrete-CTA"], validate=True)
+        np.testing.assert_array_equal(hybrid.output, discrete.output)
