@@ -24,10 +24,33 @@ from repro.harness.runner import Lab
 OUT_DIR = Path(__file__).parent / "out"
 
 
+def _bench_size() -> str:
+    """Read and validate ``REPRO_BENCH_SIZE``, failing fast on typos.
+
+    An invalid size used to surface deep inside the first graph build as
+    a bare ValueError with no hint about where the string came from; a
+    long benchmark session would die minutes in.  Validate up front and
+    name the knob and the accepted values.
+    """
+    from repro.graph.datasets import SIZES
+
+    size = os.environ.get("REPRO_BENCH_SIZE", "small")
+    if size not in SIZES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SIZE={size!r} is not a valid size preset; "
+            f"accepted values: {', '.join(SIZES)}"
+        )
+    return size
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    return _bench_size()
+
+
 @pytest.fixture(scope="session")
 def lab() -> Lab:
-    size = os.environ.get("REPRO_BENCH_SIZE", "small")
-    return Lab(size=size)
+    return Lab(size=_bench_size())
 
 
 @pytest.fixture(scope="session")

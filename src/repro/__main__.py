@@ -18,6 +18,8 @@ Usage::
     python -m repro run --list-apps          # registered applications
     python -m repro check bfs rmat8 --seeds 5    # oracle + invariant + fuzz
     python -m repro check coloring grid_mesh --config hybrid-CTA
+    python -m repro perf --size tiny             # wall-clock benchmark
+    python -m repro perf --out BENCH_perf.json --repeats 3
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
 
@@ -284,10 +286,88 @@ def _run_check(argv: list[str]) -> int:
     return 0
 
 
+def _build_perf_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description=(
+            "Run the wall-clock benchmark scenario (8 apps x engine presets "
+            "x 2 datasets) and report cells/sec and sim-ns-per-wall-ms."
+        ),
+    )
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument("--repeats", type=int, default=3, help="timed repeats (default 3)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-parallel workers (default: serial)",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    parser.add_argument(
+        "--pre-wall-s",
+        type=float,
+        default=None,
+        help=(
+            "wall seconds of the identical scenario measured on the "
+            "pre-optimization engine (records speedup_vs_pre in the report)"
+        ),
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="compare against a committed BENCH_perf.json and print the delta",
+    )
+    return parser
+
+
+def _run_perf(argv: list[str]) -> int:
+    from repro.perf.bench import (
+        format_report,
+        load_report,
+        run_bench,
+        validate_report,
+        write_report,
+    )
+
+    args = _build_perf_parser().parse_args(argv)
+    doc = run_bench(
+        size=args.size,
+        repeats=args.repeats,
+        workers=args.workers,
+        pre_wall_s=args.pre_wall_s,
+    )
+    problems = validate_report(doc)
+    print(format_report(doc))
+    if args.out:
+        write_report(doc, args.out)
+        print(f"report -> {args.out}")
+    if args.check_against:
+        base = load_report(args.check_against)
+        if base.get("size") != doc["size"]:
+            print(f"baseline size {base.get('size')!r} != {doc['size']!r}; no comparison")
+        else:
+            # normalise by the calibration spin so a slower machine does
+            # not read as an engine regression
+            scale = doc["calibration_loop_ns"] / base["calibration_loop_ns"]
+            normalized = doc["cells_per_s"] * scale
+            ratio = normalized / base["cells_per_s"]
+            print(
+                f"vs {args.check_against}: {doc['cells_per_s']:.3f} cells/s "
+                f"(normalized {normalized:.3f}) vs {base['cells_per_s']:.3f} "
+                f"baseline -> {ratio:.2f}x"
+            )
+    if problems:
+        print("report INVALID: " + "; ".join(problems))
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
+    if argv and argv[0] == "perf":
+        return _run_perf(argv[1:])
     if argv and argv[0] == "run":
         return _run_run(argv[1:])
     if argv and argv[0] == "check":

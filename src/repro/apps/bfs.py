@@ -84,7 +84,10 @@ class SpeculativeBfsKernel:
             cand_depth = int(self.depth[v]) + 1
             keep = self.depth[nbrs] > cand_depth
             kept = nbrs[keep]
-            return (kept, np.full(kept.size, cand_depth, dtype=np.int64), end - start)
+            # empty+fill: same result as np.full without its wrapper cost
+            cand = np.empty(kept.size, dtype=np.int64)
+            cand.fill(cand_depth)
+            return (kept, cand, end - start)
         # read-instant loads: own depths and neighbor depths
         own_depth = self.depth[items]
         _, nbrs = g.gather_neighbors(items)

@@ -46,6 +46,7 @@ class AsyncCcKernel:
     def __init__(self, graph: Csr) -> None:
         self.graph = graph
         self.labels = np.arange(graph.num_vertices, dtype=np.int64)
+        self.out_deg = graph.out_degrees()
         self.edges_propagated = 0
 
     def initial_items(self) -> np.ndarray:
@@ -53,8 +54,7 @@ class AsyncCcKernel:
 
     def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
         if items.size == 1:
-            v = int(items[0])
-            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            deg = self.out_deg.item(items.item(0))
             return deg, deg
         degrees = self.graph.indptr[items + 1] - self.graph.indptr[items]
         return int(degrees.sum()), int(degrees.max()) if degrees.size else 0
@@ -62,15 +62,19 @@ class AsyncCcKernel:
     def on_read(self, items: np.ndarray, t: float):
         g = self.graph
         if items.size == 1:
-            v = int(items[0])
-            start, end = int(g.indptr[v]), int(g.indptr[v + 1])
+            v = items.item(0)
+            ip = g.indptr
+            start, end = ip.item(v), ip.item(v + 1)
             if start == end:
                 return (EMPTY_ITEMS, EMPTY_ITEMS, 0)
             nbrs = g.indices[start:end]
-            label = int(self.labels[v])
+            label = self.labels.item(v)
             keep = self.labels[nbrs] > label
             kept = nbrs[keep]
-            return (kept, np.full(kept.size, label, dtype=np.int64), end - start)
+            # empty+fill: same result as np.full without its wrapper cost
+            cand = np.empty(kept.size, dtype=np.int64)
+            cand.fill(label)
+            return (kept, cand, end - start)
         own = self.labels[items]
         _, nbrs = g.gather_neighbors(items)
         degrees = g.indptr[items + 1] - g.indptr[items]
@@ -85,16 +89,31 @@ class AsyncCcKernel:
     def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
         nbrs, cand, edge_work = payload
         self.edges_propagated += edge_work
+        labels = self.labels
         if nbrs.size == 0:
             return CompletionResult(items_retired=int(items.size), work_units=float(edge_work))
-        still = cand < self.labels[nbrs]
+        if nbrs.size == 1:
+            # scalar fast path: warp tasks on low-degree meshes usually
+            # carry a single surviving candidate after the read-time filter
+            nb0 = nbrs.item(0)
+            cd0 = cand.item(0)
+            if cd0 < labels.item(nb0):
+                labels[nb0] = cd0
+                return CompletionResult(
+                    new_items=nbrs, items_retired=int(items.size), work_units=float(edge_work)
+                )
+            return CompletionResult(items_retired=int(items.size), work_units=float(edge_work))
+        still = cand < labels[nbrs]
         nb, cd = nbrs[still], cand[still]
         if nb.size > 1:
             order = np.lexsort((cd, nb))
             nb, cd = nb[order], cd[order]
             first = np.concatenate(([True], nb[1:] != nb[:-1]))
             nb, cd = nb[first], cd[first]
-        np.minimum.at(self.labels, nb, cd)
+        # nb is duplicate-free here (single survivor or deduped-by-first),
+        # and ``still`` guarantees cd < labels[nb], so minimum.at reduces to
+        # a plain scatter of the candidates — identical final labels
+        labels[nb] = cd
         return CompletionResult(
             new_items=nb, items_retired=int(items.size), work_units=float(edge_work)
         )

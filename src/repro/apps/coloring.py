@@ -64,6 +64,10 @@ __all__ = [
 
 UNCOLORED = -1
 
+#: shared empty payload slots for the scalar fast path (never mutated)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+
 
 def _min_available_color(neighbor_colors: np.ndarray, degree: int) -> int:
     """Smallest non-negative color absent from ``neighbor_colors``.
@@ -125,8 +129,10 @@ class AsyncColoringKernel:
 
     def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
         if items.size == 1:
-            v = abs(int(items[0])) - 1
-            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            tag = items.item(0)
+            v = (tag if tag > 0 else -tag) - 1
+            ip = self.graph.indptr
+            deg = ip.item(v + 1) - ip.item(v)
             return deg, deg
         vs = np.abs(items) - 1
         degrees = self.graph.indptr[vs + 1] - self.graph.indptr[vs]
@@ -134,6 +140,23 @@ class AsyncColoringKernel:
 
     def on_read(self, items: np.ndarray, t: float):
         g = self.graph
+        if items.size == 1:
+            # scalar fast path: decode the single tag without the three
+            # boolean-mask passes of decode() (fetch_size=1 dominates)
+            tag = items.item(0)
+            ip = g.indptr
+            if tag > 0:
+                v = tag - 1
+                nbrs = g.indices[ip.item(v) : ip.item(v + 1)]
+                chosen = np.empty(1, dtype=np.int64)
+                chosen[0] = _min_available_color(self.colors[nbrs], nbrs.size)
+                return (items - 1, chosen, EMPTY_ITEMS, _EMPTY_BOOL)
+            v = -tag - 1
+            nbrs = g.indices[ip.item(v) : ip.item(v + 1)]
+            c = self.colors.item(v)
+            conflicted = np.empty(1, dtype=bool)
+            conflicted[0] = bool(((self.colors[nbrs] == c) & (nbrs < v)).any())
+            return (EMPTY_ITEMS, _EMPTY_I64, -items - 1, conflicted)
         assign_vs, check_vs = self.decode(items)
         # assignment: pick min available color from currently visible
         # neighbor colors; all items in this task share one snapshot
@@ -154,6 +177,20 @@ class AsyncColoringKernel:
 
     def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
         assign_vs, chosen, check_vs, conflicted = payload
+        if items.size == 1:
+            # scalar fast path mirroring the generic branch below exactly
+            if assign_vs.size:
+                self.colors[assign_vs] = chosen
+                self.assignments += 1
+                return CompletionResult(
+                    new_items=-(assign_vs + 1), items_retired=1, work_units=1.0
+                )
+            self.conflict_checks += 1
+            if conflicted[0]:
+                return CompletionResult(
+                    new_items=check_vs + 1, items_retired=1, work_units=0.0
+                )
+            return CompletionResult(items_retired=1, work_units=0.0)
         pushes = []
         if assign_vs.size:
             self.colors[assign_vs] = chosen

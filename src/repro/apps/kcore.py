@@ -95,7 +95,17 @@ class AsyncKcoreKernel:
         self.edges_touched += int(nbrs.size)
         if nbrs.size:
             np.subtract.at(self.eff_degree, nbrs, 1)
-        ready = self._below_threshold()
+        # Incremental form of _below_threshold(): every alive sub-threshold
+        # vertex is in_queue at entry (initial_items / final_check / prior
+        # completions flagged it; in_queue only clears for vertices already
+        # peeled dead, and k only advances inside final_check's full
+        # rescan), so only the just-decremented vertices can newly satisfy
+        # the predicate.  np.unique returns the same ascending order the
+        # full flatnonzero scan produced.
+        cand = np.unique(nbrs)
+        ready = cand[
+            (self.core[cand] < 0) & (self.eff_degree[cand] < self.k) & ~self.in_queue[cand]
+        ]
         self.in_queue[ready] = True
         return CompletionResult(
             new_items=ready.astype(np.int64),

@@ -64,19 +64,44 @@ class AsyncMisKernel:
         return int(degrees.sum()), int(degrees.max()) if degrees.size else 0
 
     def _evaluate(self, v: int) -> int:
-        nbrs = self.graph.neighbors(v)
+        g = self.graph
+        ip = g.indptr
+        nbrs = g.indices[ip.item(v) : ip.item(v + 1)]
         smaller = nbrs[nbrs < v]
-        return OUT if (self.status[smaller] == IN).any() else IN
+        # status holds only OUT=0 / IN=1, so truthiness == (== IN)
+        return OUT if self.status[smaller].any() else IN
 
     def on_read(self, items: np.ndarray, t: float):
         self.in_queue[items] = False
         decided = np.empty(items.size, dtype=np.int8)
+        if items.size == 1:
+            decided[0] = self._evaluate(items.item(0))
+            return decided
         for i, v in enumerate(items):
             decided[i] = self._evaluate(int(v))
         return decided
 
     def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
         decided = payload
+        if items.size == 1:
+            # scalar fast path (fetch_size=1 dominates the hot loop)
+            self.evaluations += 1
+            v = items.item(0)
+            d = decided.item(0)
+            if self.status.item(v) == d:
+                return CompletionResult(items_retired=1, work_units=1.0)
+            self.status[v] = d
+            g = self.graph
+            ip = g.indptr
+            nbrs = g.indices[ip.item(v) : ip.item(v + 1)]
+            bigger = nbrs[nbrs > v]
+            fresh = bigger[~self.in_queue[bigger]]
+            if fresh.size:
+                self.in_queue[fresh] = True
+                return CompletionResult(
+                    new_items=fresh.astype(np.int64), items_retired=1, work_units=1.0
+                )
+            return CompletionResult(items_retired=1, work_units=1.0)
         self.evaluations += int(items.size)
         changed = items[self.status[items] != decided]
         self.status[items] = decided

@@ -85,13 +85,44 @@ class AsyncPageRankKernel:
         #: round-robin cursor of the global check counter (Algorithm 4)
         self.check_cursor = 0
         self.edges_traversed = 0
-        # In-worklist guard (one bit per vertex).  The paper's pseudocode
-        # omits it, but at our scaled-down vertex counts the check counter
-        # wraps every handful of tasks and would flood the queue with
-        # duplicates of the same dirty vertex; production asynchronous
-        # PageRank implementations (e.g. Groute) carry exactly this flag.
-        self.in_queue = np.ones(n, dtype=bool)
+        # In-worklist guard.  The paper's pseudocode omits it, but at our
+        # scaled-down vertex counts the check counter wraps every handful of
+        # tasks and would flood the queue with duplicates of the same dirty
+        # vertex; production asynchronous PageRank implementations (e.g.
+        # Groute) carry exactly this flag.  Stored as a per-vertex scan
+        # threshold rather than a bool (repro.perf): ``epsilon`` while the
+        # vertex is outside the worklist, ``+inf`` while queued, so the
+        # reservation scan's two-step ``residue > eps & ~in_queue`` filter
+        # collapses to one elementwise compare with identical decisions
+        # (residues are finite, so ``residue > inf`` is exactly ``False``).
+        self.scan_threshold = np.full(n, np.inf, dtype=np.float64)
+        self._n = n
         self._check_offsets = np.arange(check_size, dtype=np.int64)
+        # memoised reservation windows (repro.perf): the modular scan
+        # ``unique((start + offsets) % n)`` only ever takes n/gcd(check_size,n)
+        # distinct values of ``start``, so each sorted window is computed
+        # once analytically and reused read-only (see _window)
+        self._windows: dict[int, np.ndarray] = {}
+        #: hoisted per-call constants and a reusable window-mask buffer
+        self._scan_cost = max(1, check_size // 8)
+        self._mask_buf = np.empty(check_size, dtype=bool)
+        # True when every CSR row is strictly increasing — then a single
+        # vertex's neighbor list is duplicate-free and the scalar-path
+        # scatter-add can use fancy ``+=`` instead of np.add.at (identical
+        # floats: exactly one addition per neighbor either way)
+        self._rows_strict = self._check_rows_strict(graph)
+
+    @staticmethod
+    def _check_rows_strict(graph: Csr) -> bool:
+        """Whether every neighbor list is strictly increasing (O(E), once)."""
+        ind = graph.indices
+        if ind.size < 2:
+            return True
+        increasing = ind[1:] > ind[:-1]
+        row_start = np.zeros(ind.size, dtype=bool)
+        starts = graph.indptr[1:-1]
+        row_start[starts[starts < ind.size]] = True
+        return bool(np.all(increasing | row_start[1:]))
 
     def initial_items(self) -> np.ndarray:
         return np.arange(self.graph.num_vertices, dtype=np.int64)
@@ -99,11 +130,10 @@ class AsyncPageRankKernel:
     def work_estimate(self, items: np.ndarray) -> tuple[int, int]:
         # The reservation scan reads check_size consecutive residues —
         # fully coalesced, so it costs roughly one edge-equivalent
-        # transaction per 8 scanned values.
-        scan_cost = max(1, self.check_size // 8)
+        # transaction per 8 scanned values (precomputed in __init__).
+        scan_cost = self._scan_cost
         if items.size == 1:
-            v = int(items[0])
-            deg = int(self.graph.indptr[v + 1] - self.graph.indptr[v])
+            deg = self.out_deg.item(items.item(0))
             return deg + scan_cost, deg
         degrees = self.graph.indptr[items + 1] - self.graph.indptr[items]
         max_deg = int(degrees.max()) if degrees.size else 0
@@ -115,17 +145,20 @@ class AsyncPageRankKernel:
             # Scalar fast path: fetch_size=1 warp tasks dominate the hot
             # loop (hundreds of thousands per run); skip the vectorised
             # machinery's fixed per-call overhead.
-            v = int(items[0])
-            res1 = float(self.residue[v])
-            self.residue[v] = 0.0
+            v = items.item(0)
+            residue = self.residue
+            res1 = residue.item(v)
+            residue[v] = 0.0
             self.rank[v] += res1
-            self.in_queue[v] = False
-            start, end = int(g.indptr[v]), int(g.indptr[v + 1])
+            self.scan_threshold[v] = self.epsilon
+            ip = g.indptr
+            start, end = ip.item(v), ip.item(v + 1)
             deg = end - start
             if res1 > 0.0 and deg:
                 nbrs = g.indices[start:end]
-                contrib = np.full(deg, self.lam * res1 / deg)
-                return (nbrs, contrib, deg)
+                # scalar contribution: ``np.add.at`` broadcasts it over the
+                # neighbor list exactly as the former np.full array did
+                return (nbrs, self.lam * res1 / deg, deg)
             return (EMPTY_ITEMS, np.empty(0, dtype=np.float64), 0)
         # atomicExch at the read instant: claim residues, zero them, fold
         # them into the ranks (all one atomic RMW per vertex).  A duplicate
@@ -142,7 +175,7 @@ class AsyncPageRankKernel:
                 res[dup_positions] = 0.0
         self.residue[items] = 0.0
         np.add.at(self.rank, items, res)
-        self.in_queue[items] = False
+        self.scan_threshold[items] = self.epsilon
         degrees = g.indptr[items + 1] - g.indptr[items]
         # only vertices with claimed residue and outgoing edges push
         active = (res > 0.0) & (degrees > 0)
@@ -159,25 +192,77 @@ class AsyncPageRankKernel:
     def on_complete(self, items: np.ndarray, payload, t: float) -> CompletionResult:
         nbrs, contrib, edge_work = payload
         self.edges_traversed += edge_work
+        residue = self.residue
         if nbrs.size:
-            np.add.at(self.residue, nbrs, contrib)
+            if type(contrib) is float and self._rows_strict:
+                # scalar payload = one source vertex's duplicate-free
+                # neighbor list: fancy += performs the same one addition
+                # per neighbor as np.add.at, minus its per-element cost
+                residue[nbrs] += contrib
+            else:
+                np.add.at(residue, nbrs, contrib)
         # Check_Size reservation: scan the next window of vertex ids and
         # re-enqueue any whose residue exceeds epsilon (paper Algorithm 4).
-        n = self.graph.num_vertices
+        # ``dirty & ~in_queue`` is one elementwise compare against the
+        # per-vertex scan_threshold (epsilon when poppable, +inf when queued).
+        n = self._n
+        thresh = self.scan_threshold
         start = self.check_cursor
-        self.check_cursor = (start + self.check_size) % n
-        # When check_size exceeds |V| the modular window wraps and would
-        # list a vertex twice; the in_queue filter reads the guard *before*
-        # setting it, so duplicates would both pass and the queue would
-        # accumulate copies (and the exchange would double residue mass).
-        window = np.unique((start + self._check_offsets) % n)
-        dirty = window[(self.residue[window] > self.epsilon) & ~self.in_queue[window]]
-        self.in_queue[dirty] = True
+        stop = start + self.check_size
+        self.check_cursor = stop % n
+        if stop <= n:
+            # contiguous window: slice views instead of fancy indexing (the
+            # common case — one call per completed task); the mask buffer is
+            # exactly check_size wide, the width of every contiguous window
+            mask = np.greater(residue[start:stop], thresh[start:stop], out=self._mask_buf)
+            dirty = mask.nonzero()[0]
+            if dirty.size:
+                dirty += start
+                thresh[dirty] = np.inf
+        else:
+            # When check_size exceeds |V| the modular window wraps and would
+            # list a vertex twice; the threshold filter reads the guard
+            # *before* setting it, so duplicates would both pass and the
+            # queue would accumulate copies (and the exchange would double
+            # residue mass).  _window dedups and sorts analytically.
+            window = self._window(start, n)
+            dirty = window[residue[window] > thresh[window]]
+            thresh[dirty] = np.inf
         return CompletionResult(
             new_items=dirty,
             items_retired=int(items.size),
             work_units=float(edge_work),
         )
+
+    def _window(self, start: int, n: int) -> np.ndarray:
+        """Sorted deduplicated reservation window starting at ``start``.
+
+        Equals ``np.unique((start + self._check_offsets) % n)``: a run of
+        ``check_size`` consecutive ids mod ``n`` covers all of ``[0, n)``
+        when ``check_size >= n`` and is otherwise duplicate-free, so the
+        sorted result is one or two plain ranges — no hashing or sorting.
+        This is the single hottest line of the simulator (one call per
+        completed task); windows are memoised read-only per cursor value.
+        """
+        cached = self._windows.get(start)
+        if cached is not None:
+            return cached
+        cs = self.check_size
+        if cs >= n:
+            window = np.arange(n, dtype=np.int64)
+        elif start + cs <= n:
+            window = np.arange(start, start + cs, dtype=np.int64)
+        else:  # wraps past n: [0, start+cs-n) then [start, n)
+            window = np.concatenate(
+                (
+                    np.arange(start + cs - n, dtype=np.int64),
+                    np.arange(start, n, dtype=np.int64),
+                )
+            )
+        if len(self._windows) < 4096:  # bound memo growth on huge graphs
+            window.setflags(write=False)
+            self._windows[start] = window
+        return window
 
     def generation_check(self, t: float) -> np.ndarray:
         """f2 sweep at the end of a discrete generation: workers that fail
@@ -188,8 +273,8 @@ class AsyncPageRankKernel:
 
     def final_check(self, t: float) -> np.ndarray:
         """Quiescence rescan: the whole residue array, once."""
-        dirty = np.flatnonzero((self.residue > self.epsilon) & ~self.in_queue)
-        self.in_queue[dirty] = True
+        dirty = np.flatnonzero(self.residue > self.scan_threshold)
+        self.scan_threshold[dirty] = np.inf
         return dirty.astype(np.int64)
 
 

@@ -31,6 +31,7 @@ the pre-refactor ``_Engine`` for the persistent and discrete policies;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
 
 import numpy as np
@@ -46,7 +47,7 @@ from repro.obs.events import (
 from repro.queueing.broker import QueueBroker
 from repro.queueing.protocol import Worklist
 from repro.queueing.stealing import StealingWorklist
-from repro.sim.cost import task_cost
+from repro.sim.cost import make_cost_fn
 from repro.sim.engine import EventLoop
 from repro.sim.memory import BandwidthServer
 from repro.sim.occupancy import occupancy_for
@@ -178,6 +179,24 @@ class ExecutionEngine:
         self.q_failed_steals = 0
         self.q_items_pushed = 0
         self.q_items_popped = 0
+        # hot-path specialisations (repro.perf): the per-task cost closure
+        # binds every spec/config-derived constant once; the fetch size and
+        # duration-jitter amplitude are hoisted out of try_pop.  All of it
+        # is bit-identical to the generic task_cost path (golden digests).
+        self._cost_fn = make_cost_fn(
+            spec,
+            self.mem,
+            worker_threads=config.worker_threads,
+            use_internal_lb=config.internal_lb,
+        )
+        self._fetch = config.fetch_size
+        self._dur_jit = spec.duration_jitter
+        # single-queue fast path: bound to the lone MpmcQueue's pop/push
+        # by new_queue() when the broker has exactly one physical queue
+        # (the paper's headline setup), skipping the broker dispatch
+        self._qpop = None
+        self._qpush = None
+        self._singleq = None
 
     # ------------------------------------------------------------------
     def set_mode(self, *, persistent: bool) -> None:
@@ -228,6 +247,13 @@ class ExecutionEngine:
                 name=name,
                 sink=self.sink,
             )
+        single = getattr(self.queue, "_single", None)
+        self._qpop = single.pop if single is not None else None
+        self._qpush = single.push if single is not None else None
+        # try_pop inlines the pop body itself when no sink is attached
+        # (the benchmark/headline path); the bound methods above remain the
+        # fallback whenever observability events must be emitted
+        self._singleq = single if single is not None and single.sink is None else None
         return self.queue
 
     def pop_stagger(self, worker: int, seq: int) -> float:
@@ -240,21 +266,60 @@ class ExecutionEngine:
         Negative hook values are clamped: the event loop cannot schedule
         into the past, and the model only permits *delaying* a pop.
         """
+        perturb = self.perturb
+        if perturb is None:
+            amp = self.jitter_amp
+            if amp <= 0.0:
+                return 0.0
+            h = (worker * 2654435761 + seq * 40503 + 12345) & 0xFFFF
+            return (h / 65536.0) * amp
         jit = _jitter(worker, seq, self.jitter_amp)
-        if self.perturb is not None:
-            jit += max(0.0, float(self.perturb(worker, seq)))
+        jit += max(0.0, float(perturb(worker, seq)))
         return jit
 
     def try_pop(self, worker: int, t: float) -> bool:
         """Attempt a pop; on success schedules the task's READ event."""
-        items, t_acq = self.queue.pop(self.config.fetch_size, t, home=worker)
-        if items.size == 0:
-            self.idle.append(worker)
-            return False
-        self.pop_seq += 1
+        q = self._singleq
+        if q is not None:
+            # Inlined MpmcQueue.pop (single queue, no sink): the pop path
+            # runs once per task plus once per failed poll, and the call
+            # frame plus property hops are measurable at that rate.  Must
+            # mirror mpmc.pop exactly — stats updates included — so the
+            # absorbed counters and RunResult stay bit-identical.
+            stats = q.stats
+            free = q._pop_atomic_free
+            t_start = t if t > free else free
+            stats.contention_wait_ns += t_start - t
+            t_acq = q._pop_atomic_free = t_start + q.atomic_ns
+            head = q._head
+            n = q._tail - head
+            if n > self._fetch:
+                n = self._fetch
+            if n == 0:
+                stats.empty_pops += 1
+                self.idle.append(worker)
+                return False
+            items = q._buf[head : head + n].copy()
+            q._head = head = head + n
+            stats.pops += 1
+            stats.items_popped += n
+            if head == q._tail:
+                q._head = q._tail = 0
+        else:
+            qpop = self._qpop
+            if qpop is not None:  # single shared queue: home is ignored anyway
+                items, t_acq = qpop(self._fetch, t)
+            else:
+                items, t_acq = self.queue.pop(self._fetch, t, home=worker)
+            n = items.size
+            if n == 0:
+                self.idle.append(worker)
+                return False
+        seq = self.pop_seq + 1
+        self.pop_seq = seq
         self.total_tasks += 1
         if self.sink is not None:
-            self.sink.emit(TaskPop(t=t_acq, worker=worker, items=int(items.size)))
+            self.sink.emit(TaskPop(t=t_acq, worker=worker, items=int(n)))
         if self.total_tasks > self.max_tasks:
             raise SchedulerError(
                 f"run exceeded max_tasks={self.max_tasks}; "
@@ -262,21 +327,23 @@ class ExecutionEngine:
             )
         edge_work, max_degree = self.kernel.work_estimate(items)
         # deterministic per-task latency jitter (cache misses, scheduling
-        # noise); reuses the pop-stagger hash on a different stream
-        u = _jitter(worker, self.pop_seq + 7919, 1.0)
-        cost = task_cost(
-            self.spec,
-            self.mem,
-            start=t_acq,
-            worker_threads=self.config.worker_threads,
-            num_items=int(items.size),
-            edge_counts_sum=edge_work,
-            max_degree=max_degree,
-            use_internal_lb=self.config.internal_lb,
-            latency_scale=1.0 + self.spec.duration_jitter * u,
+        # noise); reuses the pop-stagger hash (inlined) on a different stream
+        h = (worker * 2654435761 + (seq + 7919) * 40503 + 12345) & 0xFFFF
+        finish = self._cost_fn(
+            t_acq, int(n), edge_work, max_degree, 1.0 + self._dur_jit * (h / 65536.0)
         )
-        t_read = max(t_acq, cost.finish_time - self.read_lead_ns)
-        self.loop.schedule(t_read, (_READ, worker, items, cost.finish_time))
+        t_read = finish - self.read_lead_ns
+        if t_read < t_acq:
+            t_read = t_acq
+        # inlined loop.schedule: t_read >= t_acq >= loop.now by construction
+        # (queue acquisition and cost model never move time backwards).
+        # Events are flat 6-tuples (t, seq, tag, worker, items, x) — one
+        # allocation per event instead of a nested payload tuple; the unique
+        # seq means heap comparisons never reach the later fields.
+        loop = self.loop
+        s = loop._seq
+        heappush(loop._heap, (t_read, s, _READ, worker, items, finish))
+        loop._seq = s + 1
         self.in_flight += 1
         return True
 
@@ -307,48 +374,147 @@ class ExecutionEngine:
         so the loop drains to a consistent stop.  Used by the hybrid
         policy to interrupt a persistent phase at its high watermark.
         """
-        end = self.loop.now
+        loop = self.loop
+        # Hot loop: the heap is accessed directly (bypassing EventLoop.pop)
+        # and every per-event attribute chase is hoisted into a local.
+        # ``loop.now`` is kept in step so schedule()'s monotonicity check
+        # still sees the true simulation time.
+        heap = loop._heap
+        end = loop.now
         stopped = False
-        while self.loop:
-            t, ev = self.loop.pop()
-            if ev[0] == _READ:
-                _, worker, items, finish = ev
-                if self.sink is not None:
-                    self.sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
-                payload = self.kernel.on_read(items, t)
-                self.loop.schedule(finish, (_DONE, worker, items, payload))
+        kernel = self.kernel
+        on_read = kernel.on_read
+        on_complete = kernel.on_complete
+        work_est = kernel.work_estimate
+        trace = self.trace
+        tr_times = trace.times.append
+        tr_items = trace.items.append
+        tr_work = trace.work.append
+        sink = self.sink
+        pending = self.pending_pushes
+        idle_append = self.idle.append
+        # mode knobs are stable for the duration of one drain (policies
+        # only call set_mode and new_queue between drains), so the stagger
+        # hash, the cost closure and the single-queue pop all inline
+        perturb = self.perturb
+        amp = self.jitter_amp
+        q = self._singleq
+        if q is not None:
+            qstats = q.stats
+            q_atomic = q.atomic_ns
+        fetch = self._fetch
+        cost_fn = self._cost_fn
+        dur_jit = self._dur_jit
+        read_lead = self.read_lead_ns
+        max_tasks = self.max_tasks
+        while heap:
+            t, _, tag, worker, items, x = heappop(heap)
+            loop.now = t
+            if tag == _READ:
+                if sink is not None:
+                    sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                payload = on_read(items, t)
+                # inlined loop.schedule: finish (x) >= t_read == t always
+                s = loop._seq
+                heappush(heap, (x, s, _DONE, worker, items, payload))
+                loop._seq = s + 1
                 continue
-            _, worker, items, payload = ev
             self.in_flight -= 1
-            result = self.kernel.on_complete(items, payload, t)
-            end = max(end, t)
-            self.items_retired += result.items_retired
-            self.work_units += result.work_units
-            self.trace.record(t, result.items_retired, result.work_units)
-            if self.sink is not None:
-                self.sink.emit(
+            result = on_complete(items, x, t)
+            if t > end:
+                end = t
+            retired = result.items_retired
+            work = result.work_units
+            new_items = result.new_items
+            self.items_retired += retired
+            self.work_units += work
+            tr_times(t)  # inlined ThroughputTrace.record
+            tr_items(retired)
+            tr_work(work)
+            if sink is not None:
+                sink.emit(
                     TaskComplete(
                         t=t,
                         worker=worker,
                         items=int(items.size),
-                        retired=result.items_retired,
-                        pushed=int(result.new_items.size),
-                        work=result.work_units,
+                        retired=retired,
+                        pushed=int(new_items.size),
+                        work=work,
                     )
                 )
-            if result.new_items.size:
+            if new_items.size:
                 if push_to_queue:
-                    self.queue.push(result.new_items, t, home=worker)
+                    qpush = self._qpush
+                    if qpush is not None:
+                        qpush(new_items, t)
+                    else:
+                        self.queue.push(new_items, t, home=worker)
                 else:
-                    self.pending_pushes.append(result.new_items)
+                    pending.append(new_items)
             if stop_when is not None and not stopped and stop_when():
                 stopped = True
             if stopped:
-                self.idle.append(worker)
+                idle_append(worker)
                 continue
-            jit = self.pop_stagger(worker, self.pop_seq)
-            self.try_pop(worker, t + jit)
-            self.wake_idle(t)
+            pop_seq = self.pop_seq
+            if perturb is None:  # inlined pop_stagger fast path
+                if amp <= 0.0:
+                    tpop = t
+                else:
+                    h = (worker * 2654435761 + pop_seq * 40503 + 12345) & 0xFFFF
+                    tpop = t + (h / 65536.0) * amp
+            else:
+                tpop = t + self.pop_stagger(worker, pop_seq)
+            if q is not None:
+                # inlined try_pop (single queue, no sink): one pop attempt
+                # per completion is the hottest edge in the whole simulator,
+                # so the call chain engine.try_pop -> mpmc.pop collapses
+                # into the loop body.  Mirrors both functions exactly,
+                # stats included, to keep RunResult counters bit-identical.
+                free = q._pop_atomic_free
+                t_start = tpop if tpop > free else free
+                qstats.contention_wait_ns += t_start - tpop
+                t_acq = q._pop_atomic_free = t_start + q_atomic
+                head = q._head
+                n = q._tail - head
+                if n > fetch:
+                    n = fetch
+                if n == 0:
+                    qstats.empty_pops += 1
+                    idle_append(worker)
+                else:
+                    pitems = q._buf[head : head + n].copy()
+                    q._head = head = head + n
+                    qstats.pops += 1
+                    qstats.items_popped += n
+                    if head == q._tail:
+                        q._head = q._tail = 0
+                    pop_seq += 1
+                    self.pop_seq = pop_seq
+                    total = self.total_tasks = self.total_tasks + 1
+                    if sink is not None:
+                        sink.emit(TaskPop(t=t_acq, worker=worker, items=n))
+                    if total > max_tasks:
+                        raise SchedulerError(
+                            f"run exceeded max_tasks={max_tasks}; "
+                            "the application appears not to converge"
+                        )
+                    edge_work, max_degree = work_est(pitems)
+                    h = (worker * 2654435761 + (pop_seq + 7919) * 40503 + 12345) & 0xFFFF
+                    finish = cost_fn(
+                        t_acq, n, edge_work, max_degree, 1.0 + dur_jit * (h / 65536.0)
+                    )
+                    t_read = finish - read_lead
+                    if t_read < t_acq:
+                        t_read = t_acq
+                    s = loop._seq
+                    heappush(heap, (t_read, s, _READ, worker, pitems, finish))
+                    loop._seq = s + 1
+                    self.in_flight += 1
+            else:
+                self.try_pop(worker, tpop)
+            if self.idle:  # inlined wake_idle guard: skip the call when nobody is parked
+                self.wake_idle(t)
         assert self.in_flight == 0, "event loop drained with tasks in flight"
         return end
 

@@ -36,7 +36,7 @@ __all__ = ["CompletionResult", "TaskKernel"]
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletionResult:
     """What ``on_complete`` hands back to the scheduler.
 
@@ -44,6 +44,7 @@ class CompletionResult:
     ``items_retired`` counts work items finished (the throughput trace
     unit).  ``work_units`` counts application work (edges traversed for
     BFS/PR, color assignments for coloring) — the Table 4 currency.
+    One instance is allocated per completed task, so it carries slots.
     """
 
     new_items: np.ndarray = field(default_factory=lambda: _EMPTY)

@@ -192,5 +192,16 @@ def resolve_dataset(name: str) -> str:
 
 
 def load_dataset(key: str, size: str = "default") -> Csr:
-    """Load one of the five stand-ins by any accepted dataset spelling."""
-    return DATASETS[resolve_dataset(key)].loader(size)
+    """Load one of the five stand-ins by any accepted dataset spelling.
+
+    Builds are memoised process-wide through
+    :func:`repro.perf.buildcache.cached_graph`: every Lab, benchmark
+    repeat and sweep worker that asks for the same (dataset, size) pair
+    shares one read-only :class:`Csr` instance.
+    """
+    from repro.perf.buildcache import cached_graph
+
+    rkey = resolve_dataset(key)
+    return cached_graph(
+        ("dataset", rkey, size), lambda: DATASETS[rkey].loader(size)
+    )

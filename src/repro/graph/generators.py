@@ -71,7 +71,34 @@ def rmat(
         also insert every reverse edge (the paper's traversals treat the
         graphs as effectively traversable in CSR direction; symmetric keeps
         BFS reachability high).
+
+    Builds with a reproducible ``int`` seed are memoised process-wide
+    (:mod:`repro.perf.buildcache`); ``seed=None`` (OS entropy) and live
+    ``numpy.random.Generator`` instances bypass the cache.
     """
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        from repro.perf.buildcache import cached_graph
+
+        return cached_graph(
+            ("rmat", scale, edge_factor, a, b, c, int(seed), symmetric, name),
+            lambda: _rmat_build(
+                scale, edge_factor, a=a, b=b, c=c, seed=seed, symmetric=symmetric, name=name
+            ),
+        )
+    return _rmat_build(scale, edge_factor, a=a, b=b, c=c, seed=seed, symmetric=symmetric, name=name)
+
+
+def _rmat_build(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | np.random.Generator | None = 0,
+    symmetric: bool = True,
+    name: str = "rmat",
+) -> Csr:
     if scale < 0:
         raise ValueError("scale must be >= 0")
     d = 1.0 - a - b - c
@@ -180,8 +207,24 @@ def grid_mesh(
     """2-D lattice: each cell connects to its 4 (or 8) neighbors.
 
     Diameter is ``rows + cols - 2`` (Manhattan), degree ≤ 4 (or 8) — the
-    canonical mesh-like structure behind road networks.
+    canonical mesh-like structure behind road networks.  Fully
+    deterministic, so always memoised (:mod:`repro.perf.buildcache`).
     """
+    from repro.perf.buildcache import cached_graph
+
+    return cached_graph(
+        ("grid_mesh", rows, cols, diagonal, name),
+        lambda: _grid_mesh_build(rows, cols, diagonal=diagonal, name=name),
+    )
+
+
+def _grid_mesh_build(
+    rows: int,
+    cols: int,
+    *,
+    diagonal: bool = False,
+    name: str = "grid",
+) -> Csr:
     if rows <= 0 or cols <= 0:
         raise ValueError("rows and cols must be positive")
     n = rows * cols
@@ -219,7 +262,36 @@ def road_network(
     ``O(rows + cols)``, matching the two structural axes the paper's
     analysis uses.  Connectivity is restored by stitching any disconnected
     component back to the giant component.
+
+    Builds with a reproducible ``int`` seed are memoised process-wide
+    (:mod:`repro.perf.buildcache`); ``seed=None`` (OS entropy) and live
+    ``numpy.random.Generator`` instances bypass the cache.
     """
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        from repro.perf.buildcache import cached_graph
+
+        return cached_graph(
+            ("road_network", rows, cols, removal_fraction, shortcut_fraction, int(seed), name),
+            lambda: _road_network_build(
+                rows, cols, removal_fraction=removal_fraction,
+                shortcut_fraction=shortcut_fraction, seed=seed, name=name,
+            ),
+        )
+    return _road_network_build(
+        rows, cols, removal_fraction=removal_fraction,
+        shortcut_fraction=shortcut_fraction, seed=seed, name=name,
+    )
+
+
+def _road_network_build(
+    rows: int,
+    cols: int,
+    *,
+    removal_fraction: float = 0.08,
+    shortcut_fraction: float = 0.005,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "road",
+) -> Csr:
     rng = _rng(seed)
     base = grid_mesh(rows, cols)
     edges = base.edge_array()

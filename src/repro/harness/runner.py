@@ -94,6 +94,75 @@ class Lab:
         self._results[cache_key] = result
         return result
 
+    def run_grid(
+        self,
+        apps: tuple[str, ...] | list[str],
+        datasets: tuple[str, ...] | list[str],
+        impls: tuple[str, ...] | list[str],
+        *,
+        permuted: bool = False,
+        workers: int | None = None,
+    ) -> list:
+        """Run the full apps x datasets x impls grid; see :meth:`run_cells`."""
+        from repro.perf.parallel import SweepCell
+
+        cells = [
+            SweepCell(app, ds, impl, permuted)
+            for app in apps
+            for ds in datasets
+            for impl in impls
+        ]
+        return self.run_cells(cells, workers=workers)
+
+    def run_cells(self, cells, *, workers: int | None = None) -> list:
+        """Run a list of :class:`~repro.perf.parallel.SweepCell`.
+
+        Returns one entry per cell, in cell order: the
+        :class:`~repro.apps.common.AppResult`, or a
+        :class:`~repro.perf.parallel.CellError` if that cell raised.
+        ``workers`` of ``None``/0/1 runs serially in this process through
+        the Lab's memo; larger values fan out over a process pool (each
+        worker keeps its own warm Lab) and fold the results back into
+        this Lab's memo, so a parallel sweep primes later table calls
+        exactly like a serial one.
+        """
+        from repro.perf.parallel import CellError, run_cells
+
+        cells = list(cells)
+        if not workers or workers <= 1:
+            out = []
+            for cell in cells:
+                try:
+                    out.append(
+                        self.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
+                    )
+                except Exception as exc:
+                    import traceback as _tb
+
+                    out.append(
+                        CellError(
+                            cell=cell,
+                            kind=type(exc).__name__,
+                            message=str(exc),
+                            traceback="".join(
+                                _tb.format_exception(type(exc), exc, exc.__traceback__)
+                            ),
+                        )
+                    )
+            return out
+        results = run_cells(
+            cells,
+            size=self.size,
+            spec=self.spec,
+            max_tasks=self.max_tasks,
+            validate=self.validate,
+            workers=workers,
+        )
+        for cell, res in zip(cells, results):
+            if not isinstance(res, CellError):
+                self._results[(cell.app, cell.dataset, cell.impl, cell.permuted)] = res
+        return results
+
     def run_config(
         self,
         app: str,

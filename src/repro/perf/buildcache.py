@@ -1,0 +1,86 @@
+"""Keyed build cache for deterministic graph construction.
+
+Graph builds (R-MAT generation, crawl-order relabeling, road meshes) are
+pure functions of their parameters, and a sweep re-requests the same
+handful of (dataset, size) pairs hundreds of times — once per Lab, once
+per worker process, once per benchmark repeat.  This module memoises the
+built :class:`~repro.graph.csr.Csr` process-wide.
+
+Sharing is safe because ``Csr`` freezes its arrays (``writeable=False`` in
+``__post_init__``): a caller that tries to mutate a cached graph gets a
+``ValueError`` from numpy instead of silently poisoning every later
+borrower.  ``tests/test_perf.py`` property-tests both directions — cached
+builds equal fresh builds, and mutation attempts raise.
+
+Keys must be hashable tuples of primitives.  Builders whose parameters
+are not hashable (e.g. a live ``numpy.random.Generator`` seed) should
+bypass the cache entirely rather than guess a key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+from typing import Callable, Hashable
+
+from repro.graph.csr import Csr
+
+__all__ = ["cached_graph", "cache_info", "cache_clear", "CacheInfo"]
+
+_CACHE: dict[Hashable, Csr] = {}
+_LOCK = Lock()
+_HITS = 0
+_MISSES = 0
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+def cached_graph(key: Hashable, builder: Callable[[], Csr]) -> Csr:
+    """Return the graph cached under ``key``, building it on first use.
+
+    The returned instance is shared: callers get the same read-only
+    ``Csr`` object, not a copy (copy-on-return would forfeit most of the
+    win — graph builds dominate Lab startup).  Immutability is enforced
+    by ``Csr`` itself.
+    """
+    global _HITS, _MISSES
+    with _LOCK:
+        g = _CACHE.get(key)
+        if g is not None:
+            _HITS += 1
+            return g
+    built = builder()
+    if not isinstance(built, Csr):
+        raise TypeError(f"builder for {key!r} returned {type(built).__name__}, expected Csr")
+    with _LOCK:
+        # a racing builder may have stored first; keep the stored instance
+        # so every caller shares one object
+        g = _CACHE.get(key)
+        if g is not None:
+            _HITS += 1
+            return g
+        _MISSES += 1
+        _CACHE[key] = built
+    return built
+
+
+def cache_info() -> CacheInfo:
+    """Hits, misses and current entry count."""
+    with _LOCK:
+        return CacheInfo(hits=_HITS, misses=_MISSES, size=len(_CACHE))
+
+
+def cache_clear() -> None:
+    """Drop every cached graph and reset the counters (tests)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

@@ -1,0 +1,148 @@
+"""Process-parallel sweep runner for Lab grids.
+
+A Lab sweep is embarrassingly parallel — every (app, dataset, impl) cell
+is an independent deterministic simulation — so the only interesting
+design points are the ones that go wrong in practice:
+
+* **Deterministic ordering**: results come back in the exact order the
+  cells were submitted, regardless of which worker finished first, so a
+  parallel sweep is a drop-in replacement for the serial loop
+  (``tests/test_perf.py`` asserts serial == parallel, order included).
+* **Per-cell isolation**: an exception inside one cell — bad app name,
+  diverging kernel, even a worker process dying — surfaces as a
+  :class:`CellError` *in that cell's slot*; the other cells still return
+  results and the sweep never hangs.
+* **Per-process warm state**: each worker process keeps one Lab per
+  (size, spec) so graph builds are shared across the cells it executes
+  (and, through :mod:`repro.perf.buildcache`, across Labs within the
+  process).
+
+Simulation outputs are bit-identical to serial execution by construction:
+the engine is deterministic and each cell runs single-threaded in
+whichever process it lands on.
+"""
+
+from __future__ import annotations
+
+import traceback as _tb
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.apps.common import AppResult
+from repro.sim.spec import V100_SPEC, GpuSpec
+
+__all__ = ["SweepCell", "CellError", "run_cells"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (app, dataset, impl) cell of a sweep grid."""
+
+    app: str
+    dataset: str
+    impl: str
+    permuted: bool = False
+
+
+@dataclass(frozen=True)
+class CellError:
+    """A cell that raised instead of returning a result.
+
+    Carries enough to diagnose without re-running: the cell, the
+    exception class name, its message, and the formatted traceback (empty
+    when the worker process died and the exception crossed the pool
+    boundary as a BrokenProcessPool).
+    """
+
+    cell: SweepCell
+    kind: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.cell.app}/{self.cell.dataset}/{self.cell.impl}: {self.kind}: {self.message}"
+
+
+# one warm Lab per worker process, keyed by the sweep parameters
+_WORKER_LAB = None
+_WORKER_KEY = None
+
+
+def _worker_lab(size: str, spec: GpuSpec, max_tasks: int, validate: bool, generation: int):
+    global _WORKER_LAB, _WORKER_KEY
+    key = (size, spec, max_tasks, validate, generation)
+    if _WORKER_KEY != key:
+        from repro.harness.runner import Lab
+
+        _WORKER_LAB = Lab(size=size, spec=spec, max_tasks=max_tasks, validate=validate)
+        _WORKER_KEY = key
+    return _WORKER_LAB
+
+
+def _run_cell(
+    cell: SweepCell, size: str, spec: GpuSpec, max_tasks: int, validate: bool, generation: int
+):
+    if cell.app == "__kill_worker__":
+        # test hook (tests/test_perf.py): simulate a worker process dying
+        # mid-cell so the BrokenProcessPool path stays covered.  Only in a
+        # pool worker — in-process callers fall through to the normal
+        # unknown-app error.
+        import multiprocessing
+        import os
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+    lab = _worker_lab(size, spec, max_tasks, validate, generation)
+    return lab.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
+
+
+def _error(cell: SweepCell, exc: BaseException, *, with_tb: bool = True) -> CellError:
+    tb = "".join(_tb.format_exception(type(exc), exc, exc.__traceback__)) if with_tb else ""
+    return CellError(cell=cell, kind=type(exc).__name__, message=str(exc), traceback=tb)
+
+
+def run_cells(
+    cells: Iterable[SweepCell],
+    *,
+    size: str = "small",
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+    validate: bool = False,
+    workers: int | None = None,
+    generation: int = 0,
+) -> list[AppResult | CellError]:
+    """Run every cell; return results/errors in submission order.
+
+    ``workers`` of ``None``, 0 or 1 runs serially in-process (no pool
+    startup cost; identical semantics).  Larger values fan cells out over
+    a :class:`~concurrent.futures.ProcessPoolExecutor`.  ``generation``
+    distinguishes benchmark repeats: bumping it retires the warm
+    per-process Lab so a repeat re-simulates instead of replaying the
+    previous sweep's memoised results.
+    """
+    cell_list: Sequence[SweepCell] = list(cells)
+    if not workers or workers <= 1:
+        out: list[AppResult | CellError] = []
+        for cell in cell_list:
+            try:
+                out.append(_run_cell(cell, size, spec, max_tasks, validate, generation))
+            except Exception as exc:
+                out.append(_error(cell, exc))
+        return out
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_cell, cell, size, spec, max_tasks, validate, generation)
+            for cell in cell_list
+        ]
+        out = []
+        for cell, fut in zip(cell_list, futures):
+            try:
+                out.append(fut.result())
+            except Exception as exc:
+                # includes BrokenProcessPool when a worker died: the error
+                # lands in this cell's slot and iteration continues — the
+                # sweep degrades per-cell instead of hanging or aborting
+                out.append(_error(cell, exc, with_tb=exc.__traceback__ is not None))
+        return out

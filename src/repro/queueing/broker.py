@@ -40,6 +40,9 @@ class QueueBroker:
         ]
         self._push_cursor = 0
         self.name = name
+        #: fast path: with one physical queue (the paper's headline setup)
+        #: push/pop/size skip the scatter machinery entirely
+        self._single = self.queues[0] if num_queues == 1 else None
 
     # ------------------------------------------------------------------
     @property
@@ -49,6 +52,9 @@ class QueueBroker:
     @property
     def size(self) -> int:
         """Total items across all physical queues."""
+        single = self._single
+        if single is not None:
+            return single._tail - single._head
         return sum(q.size for q in self.queues)
 
     def __len__(self) -> int:
@@ -65,12 +71,13 @@ class QueueBroker:
         :class:`~repro.queueing.stealing.StealingWorklist` (which pushes to
         the producer's own deque); the shared broker ignores it.
         """
+        single = self._single
+        if single is not None:
+            return single.push(items, now)
         items = np.asarray(items, dtype=np.int64).ravel()
         if items.size == 0:
             return now
         n = self.num_queues
-        if n == 1:
-            return self.queues[0].push(items, now)
         t = now
         # round-robin in contiguous chunks: item k goes to queue
         # (cursor + k) % n, realised as n strided slices (vectorised).
@@ -89,9 +96,10 @@ class QueueBroker:
         siblings until the request is filled or every queue came up empty.
         Each visited queue charges its own atomic cost.
         """
+        single = self._single
+        if single is not None:
+            return single.pop(max_items, now)
         n = self.num_queues
-        if n == 1:
-            return self.queues[0].pop(max_items, now)
         collected: list[np.ndarray] = []
         remaining = max_items
         t = now

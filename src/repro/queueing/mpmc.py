@@ -40,6 +40,10 @@ from repro.obs.events import EmptyPop, EventSink, QueuePop, QueuePush
 
 __all__ = ["MpmcQueue", "QueueStats"]
 
+#: shared zero-length result for empty pops (never mutable: it has no
+#: elements to write, and callers only inspect ``.size``)
+_EMPTY = np.empty(0, dtype=np.int64)
+
 
 @dataclass
 class QueueStats:
@@ -148,20 +152,29 @@ class MpmcQueue:
         real framework allocates in ``Queues::init``.
         """
         items = np.asarray(items, dtype=np.int64).ravel()
-        if items.size == 0:
+        k = items.size
+        if k == 0:
             return now
-        if self.size + items.size > self.capacity:
+        if self.size + k > self.capacity:
             raise OverflowError(
                 f"queue {self.name!r} over capacity: "
-                f"{self.size} + {items.size} > {self.capacity}"
+                f"{self.size} + {k} > {self.capacity}"
             )
-        t = self._acquire_push_atomic(now)
-        self._ensure_room(items.size)
-        self._buf[self._tail : self._tail + items.size] = items
-        self._tail += items.size
-        self.stats.pushes += 1
-        self.stats.items_pushed += items.size
-        self.stats.max_size = max(self.stats.max_size, self.size)
+        # inlined _acquire_push_atomic (hot path: one call per completion)
+        stats = self.stats
+        free = self._push_atomic_free
+        start = now if now > free else free
+        stats.contention_wait_ns += start - now
+        t = self._push_atomic_free = start + self.atomic_ns
+        self._ensure_room(k)
+        tail = self._tail
+        self._buf[tail : tail + k] = items
+        self._tail = tail + k
+        stats.pushes += 1
+        stats.items_pushed += k
+        size = self._tail - self._head
+        if size > stats.max_size:
+            stats.max_size = size
         if self.sink is not None:
             self.sink.emit(
                 QueuePush(
@@ -184,10 +197,18 @@ class MpmcQueue:
         """
         if max_items <= 0:
             raise ValueError("max_items must be positive")
-        t = self._acquire_pop_atomic(now)
-        n = min(max_items, self.size)
+        # inlined _acquire_pop_atomic (hot path: one call per worker poll)
+        stats = self.stats
+        free = self._pop_atomic_free
+        start = now if now > free else free
+        stats.contention_wait_ns += start - now
+        t = self._pop_atomic_free = start + self.atomic_ns
+        head = self._head
+        n = self._tail - head
+        if n > max_items:
+            n = max_items
         if n == 0:
-            self.stats.empty_pops += 1
+            stats.empty_pops += 1
             if self.sink is not None:
                 self.sink.emit(
                     EmptyPop(
@@ -196,12 +217,12 @@ class MpmcQueue:
                         wait_ns=max(0.0, t - now - self.atomic_ns),
                     )
                 )
-            return np.empty(0, dtype=np.int64), t
-        out = self._buf[self._head : self._head + n].copy()
-        self._head += n
-        self.stats.pops += 1
-        self.stats.items_popped += n
-        if self._head == self._tail:
+            return _EMPTY, t
+        out = self._buf[head : head + n].copy()
+        self._head = head = head + n
+        stats.pops += 1
+        stats.items_popped += n
+        if head == self._tail:
             # reset to keep the buffer compact
             self._head = self._tail = 0
         if self.sink is not None:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.sim.memory import BandwidthServer
 from repro.sim.spec import GpuSpec
 
-__all__ = ["TaskCost", "task_cost", "bsp_kernel_time"]
+__all__ = ["TaskCost", "task_cost", "make_cost_fn", "bsp_kernel_time"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,112 @@ def task_cost(
     finish_bw = mem.reserve(start, traffic)
     finish = max(start + latency, finish_bw)
     return TaskCost(finish_time=finish, latency_ns=latency, bandwidth_edges=traffic)
+
+
+def make_cost_fn(
+    spec: GpuSpec,
+    mem: BandwidthServer,
+    *,
+    worker_threads: int,
+    use_internal_lb: bool,
+):
+    """Specialise :func:`task_cost` for one ``(spec, config)`` pair.
+
+    The scheduler costs every popped task with the same spec, worker width
+    and load-balancing mode, so the branch selection and all spec-derived
+    constants can be hoisted out of the per-task call.  The returned
+    closure ``fn(start, num_items, edge_counts_sum, max_degree,
+    latency_scale) -> finish_time`` evaluates the **identical floating-point
+    expressions in the identical order** as :func:`task_cost` — golden
+    digests in ``tests/test_equivalence.py`` pin this — and skips the
+    :class:`TaskCost` allocation (the engine only consumes the finish
+    time).  ``tests/test_perf.py`` cross-checks the closure against
+    :func:`task_cost` over randomised inputs.
+    """
+    if worker_threads < 1:
+        raise ValueError("worker_threads must be >= 1")
+
+    task_fixed = spec.task_fixed_ns
+    # The bandwidth reservation is inlined (one closure call per task is
+    # the simulator's hottest call site): the closures mutate the server's
+    # fields with the exact arithmetic of BandwidthServer.reserve.  Traffic
+    # is always positive here (num_items >= 1 in every branch below), so
+    # reserve()'s zero/negative guards cannot fire.
+    rate = mem.edges_per_ns
+
+    if use_internal_lb:
+        cta_fixed = spec.cta_task_fixed_ns
+        cta_step = spec.cta_step_ns
+        # precomputing (1.0 + overhead) keeps the multiplier bit-identical:
+        # the product below sees the exact same float either way
+        lbs_mult = 1.0 + spec.lbs_bandwidth_overhead
+        width = worker_threads
+
+        def cost_cta(start, num_items, edge_counts_sum, max_degree, latency_scale):
+            if num_items == 0:
+                return start + task_fixed
+            rounds = -(-(edge_counts_sum + num_items) // width)
+            latency = (cta_fixed + rounds * cta_step) * latency_scale
+            traffic = edge_counts_sum * lbs_mult + num_items
+            free = mem._free_at
+            if start > free:
+                free = start
+            service = traffic / rate
+            mem._free_at = finish_bw = free + service
+            mem.total_edges += traffic
+            mem.busy_time += service
+            lat_end = start + latency
+            return lat_end if lat_end > finish_bw else finish_bw
+
+        return cost_cta
+
+    if worker_threads == 1:
+        thread_edge = spec.thread_edge_ns
+
+        def cost_thread(start, num_items, edge_counts_sum, max_degree, latency_scale):
+            if num_items == 0:
+                return start + task_fixed
+            latency = (
+                task_fixed + num_items * task_fixed * 0.25 + edge_counts_sum * thread_edge
+            ) * latency_scale
+            traffic = float(edge_counts_sum + num_items)
+            free = mem._free_at
+            if start > free:
+                free = start
+            service = traffic / rate
+            mem._free_at = finish_bw = free + service
+            mem.total_edges += traffic
+            mem.busy_time += service
+            lat_end = start + latency
+            return lat_end if lat_end > finish_bw else finish_bw
+
+        return cost_thread
+
+    width = worker_threads
+    gran = spec.warp_lane_granularity
+    half_gran = gran / 2.0
+    warp_step = spec.warp_step_ns
+
+    def cost_warp(start, num_items, edge_counts_sum, max_degree, latency_scale):
+        if num_items == 0:
+            return start + task_fixed
+        steps = num_items + (edge_counts_sum // width)
+        latency = (task_fixed + steps * warp_step) * latency_scale
+        if num_items == 1:
+            traffic = float(gran * ((max_degree + gran - 1) // gran)) + 1
+        else:
+            traffic = (edge_counts_sum + num_items * half_gran) + num_items
+        free = mem._free_at
+        if start > free:
+            free = start
+        service = traffic / rate
+        mem._free_at = finish_bw = free + service
+        mem.total_edges += traffic
+        mem.busy_time += service
+        lat_end = start + latency
+        return lat_end if lat_end > finish_bw else finish_bw
+
+    return cost_warp
 
 
 def bsp_kernel_time(

@@ -12,6 +12,7 @@ hard-coded.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.sim.spec import GpuSpec
 
@@ -43,7 +44,23 @@ def occupancy_for(
     Registers allocate in per-warp granularity on real hardware; we keep the
     simpler per-thread model, which matches the published occupancy numbers
     to within one CTA for the configurations used here.
+
+    Results are memoised (:class:`GpuSpec` and :class:`Occupancy` are both
+    frozen): sweeps and parallel grids recompute the same handful of
+    configurations thousands of times.
     """
+    return _occupancy_cached(
+        spec, threads_per_cta, registers_per_thread, shared_mem_per_cta
+    )
+
+
+@lru_cache(maxsize=512)
+def _occupancy_cached(
+    spec: GpuSpec,
+    threads_per_cta: int,
+    registers_per_thread: int,
+    shared_mem_per_cta: int,
+) -> Occupancy:
     if threads_per_cta <= 0:
         raise ValueError("threads_per_cta must be positive")
     if threads_per_cta > spec.max_threads_per_sm:

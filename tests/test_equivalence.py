@@ -65,6 +65,65 @@ GOLDEN_DIGESTS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Performance-layer cells (ISSUE 4): the repro.perf optimizations (batched
+# costing, cached occupancy, obs fast path, queue micro-optimizations) must
+# be bit-identical on every policy × worklist combination the engine can
+# run.  These digests were captured on the pre-optimization engine for the
+# hybrid presets and for the StealingWorklist variants of all three
+# engine-level policies (the shared-worklist pure presets are already
+# pinned above).
+# ---------------------------------------------------------------------------
+
+def _steal(name: str):
+    """A named preset rebased onto the work-stealing worklist."""
+    return CONFIGS[name].with_overrides(
+        worklist="stealing", num_queues=4, name=f"{name}+steal"
+    )
+
+
+PERF_CONFIGS = {
+    "hybrid-CTA": CONFIGS["hybrid-CTA"],
+    "hybrid-warp": CONFIGS["hybrid-warp"],
+    "persist-warp+steal": _steal("persist-warp"),
+    "discrete-CTA+steal": _steal("discrete-CTA"),
+    "hybrid-CTA+steal": _steal("hybrid-CTA"),
+}
+
+GOLDEN_DIGESTS.update({
+    ("bfs", "roadNet-CA", "hybrid-CTA"):
+        "5036311cd107ccaa4892205e68de52f5fc97c229a15144507980837855c1a9d9",
+    ("bfs", "roadNet-CA", "hybrid-warp"):
+        "90ad23ea9b8b15b824187d3ad90c7496c3fc7276fb97c3286d6b7a4acca4feb9",
+    ("bfs", "roadNet-CA", "persist-warp+steal"):
+        "51fbaa8874732b9f4db963fa99079fa150408469624c1acb23396629ad6d9b7c",
+    ("bfs", "roadNet-CA", "discrete-CTA+steal"):
+        "3442acb761b80aedb7e1794c4ccdbfcf30d7540b778464550e721d772ed41750",
+    ("bfs", "roadNet-CA", "hybrid-CTA+steal"):
+        "b1a038fdf248e36ac03d67f6cd34c83fe6fbc42757c2d56e3dedf4e00f2edf0b",
+    ("pagerank", "soc-LiveJournal1", "hybrid-CTA"):
+        "aabdf680ef503dadbebe585a8b750128e6bd9ece96c997a73786fb1b21a830d4",
+    ("pagerank", "soc-LiveJournal1", "hybrid-warp"):
+        "6bb64f06406ea66caaabbf48b2404605b9ae9b21fd7bbffab2d9eb41bca6779e",
+    ("pagerank", "soc-LiveJournal1", "persist-warp+steal"):
+        "dfde0b82fe796045b6478a525f0683f56a606fdc7d0f3b59af6b3eb65bf951f5",
+    ("pagerank", "soc-LiveJournal1", "discrete-CTA+steal"):
+        "d1db71915b81eea473cbb2f5da91f0017f1a5547513a126430ea187b895a8d55",
+    ("pagerank", "soc-LiveJournal1", "hybrid-CTA+steal"):
+        "2d8e0c68117e6daaae516594c411903556ab52b14717ce92f5168f19819f93ea",
+    ("coloring", "indochina-2004", "hybrid-CTA"):
+        "8dd59cdc231266d9ab6df3404aee1071c088eb9a0d70f46a7691985614aaa475",
+    ("coloring", "indochina-2004", "hybrid-warp"):
+        "5f9e8f7ce69096ad2c480473320078a0ca2d3d1517ac0e89f433a27bea83b824",
+    ("coloring", "indochina-2004", "persist-warp+steal"):
+        "ed3209dca35d16bcdef99fd9ee56e2f29f0914d6d4bacff63eb73fbfe7e10789",
+    ("coloring", "indochina-2004", "discrete-CTA+steal"):
+        "b7de25ebc05a74342b4980258cf54451588160e3e3a33a0443a02dbbc83730a3",
+    ("coloring", "indochina-2004", "hybrid-CTA+steal"):
+        "6ea3be32bb5d3d67b932dfecd2eed57e66b3bed145eec539fad571ddb46d0f1d",
+})
+
+
 @pytest.fixture(scope="module")
 def lab() -> Lab:
     return Lab(size="tiny")
@@ -78,6 +137,18 @@ def test_digest_matches_pre_refactor(lab, app, dataset, preset):
     assert sink.digest() == GOLDEN_DIGESTS[(app, dataset, preset)], (
         f"{app}/{dataset}/{preset}: simulated behavior diverged from the "
         "pre-refactor scheduler"
+    )
+
+
+@pytest.mark.parametrize("app,dataset", CELLS)
+@pytest.mark.parametrize("preset", sorted(PERF_CONFIGS))
+def test_digest_matches_pre_perf_layer(lab, app, dataset, preset):
+    """Hybrid-policy and stealing-worklist cells pin the optimized engine."""
+    sink = Collector()
+    lab.run_config(app, dataset, PERF_CONFIGS[preset], sink=sink)
+    assert sink.digest() == GOLDEN_DIGESTS[(app, dataset, preset)], (
+        f"{app}/{dataset}/{preset}: simulated behavior diverged from the "
+        "pre-optimization engine"
     )
 
 
