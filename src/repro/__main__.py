@@ -20,6 +20,10 @@ Usage::
     python -m repro check coloring grid_mesh --config hybrid-CTA
     python -m repro perf --size tiny             # wall-clock benchmark
     python -m repro perf --out BENCH_perf.json --repeats 3
+    python -m repro metrics bfs roadNet-CA --config persist-warp --out summary.json
+    python -m repro metrics --write-baseline BENCH_metrics_baseline.json
+    python -m repro diff summary.json BENCH_metrics_baseline.json
+    python -m repro diff new_baseline.json BENCH_metrics_baseline.json
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
 
@@ -317,6 +321,14 @@ def _build_perf_parser() -> argparse.ArgumentParser:
         default=None,
         help="compare against a committed BENCH_perf.json and print the delta",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "re-run the METRICS_CELLS subset untimed with a streaming "
+            "MetricsSink and embed the summaries in the report"
+        ),
+    )
     return parser
 
 
@@ -335,6 +347,7 @@ def _run_perf(argv: list[str]) -> int:
         repeats=args.repeats,
         workers=args.workers,
         pre_wall_s=args.pre_wall_s,
+        metrics=args.metrics,
     )
     problems = validate_report(doc)
     print(format_report(doc))
@@ -362,6 +375,165 @@ def _run_perf(argv: list[str]) -> int:
     return 0
 
 
+def _build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description=(
+            "Run one (app, dataset, config) cell with the streaming "
+            "MetricsSink attached, print the sparkline dashboard, and "
+            "optionally export the MetricsSummary (JSON), Prometheus text, "
+            "JSONL or CSV."
+        ),
+    )
+    parser.add_argument("app", nargs="?", help="application name")
+    parser.add_argument("dataset", nargs="?", help="dataset name or alias")
+    parser.add_argument(
+        "--config",
+        default="persist-warp",
+        help="named Atos variant (default: persist-warp)",
+    )
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument("--out", default=None, help="write the MetricsSummary JSON here")
+    parser.add_argument("--prom", default=None, help="write Prometheus text exposition here")
+    parser.add_argument("--jsonl", default=None, help="write JSONL metric records here")
+    parser.add_argument("--csv", default=None, help="write the time-series CSV here")
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "instead of one cell, run the committed baseline sweep "
+            "(repro.metrics.baseline.BASELINE_CELLS at --size, default tiny) "
+            "and write the cell-keyed baseline document"
+        ),
+    )
+    return parser
+
+
+def _run_metrics(argv: list[str]) -> int:
+    from repro.core.config import variant_by_name
+    from repro.graph.datasets import resolve_dataset
+    from repro.harness.runner import Lab
+    from repro.metrics import (
+        collect_baseline,
+        format_dashboard,
+        series_csv,
+        to_jsonl,
+        to_prometheus,
+        validate_baseline,
+        validate_summary,
+        write_summary,
+    )
+
+    args = _build_metrics_parser().parse_args(argv)
+    if args.write_baseline:
+        size = args.size if "--size" in argv else "tiny"
+        doc = collect_baseline(size=size)
+        problems = validate_baseline(doc)
+        if problems:
+            print("baseline INVALID: " + "; ".join(problems))
+            return 1
+        write_summary(doc, args.write_baseline)
+        print(
+            f"baseline ({len(doc['cells'])} cells, size={size}) -> {args.write_baseline}"
+        )
+        return 0
+    if not args.app or not args.dataset:
+        _build_metrics_parser().error("app and dataset are required (or --write-baseline)")
+    config = variant_by_name(args.config)
+    dataset = resolve_dataset(args.dataset)
+    lab = Lab(size=args.size)
+    result = lab.run_config(args.app, dataset, config, metrics=True)
+    summary = result.extra["metrics"]
+    problems = validate_summary(summary)
+    print(format_dashboard(summary))
+    if args.out:
+        write_summary(summary, args.out)
+        print(f"summary -> {args.out}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(summary))
+        print(f"prometheus -> {args.prom}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(to_jsonl(summary))
+        print(f"jsonl -> {args.jsonl}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(series_csv(summary))
+        print(f"csv -> {args.csv}")
+    if problems:
+        print("summary INVALID: " + "; ".join(problems))
+        return 1
+    return 0
+
+
+def _build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diff",
+        description=(
+            "Compare two metrics documents (MetricsSummary, cell-keyed "
+            "baseline, or BENCH_perf.json) with per-metric relative-delta "
+            "thresholds; exits non-zero on regression.  The NEW document "
+            "comes first, the BASE (anchor) second."
+        ),
+    )
+    parser.add_argument("new", help="the candidate document (JSON path)")
+    parser.add_argument(
+        "base",
+        nargs="?",
+        default=None,
+        help="the anchor document (default: BENCH_metrics_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        action="append",
+        default=None,
+        metavar="METRIC=REL",
+        help=(
+            "per-metric relative-delta override, e.g. elapsed_ns=0.10 or "
+            "'histograms.*=0.5' (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--default-threshold",
+        type=float,
+        default=None,
+        help="fallback relative-delta threshold (default 0.05)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every compared metric"
+    )
+    return parser
+
+
+def _run_diff(argv: list[str]) -> int:
+    from repro.metrics.baseline import BASELINE_PATH
+    from repro.metrics.diff import DEFAULT_THRESHOLD, diff_docs
+    from repro.metrics.summary import load_summary
+
+    args = _build_diff_parser().parse_args(argv)
+    base_path = args.base or BASELINE_PATH
+    thresholds = {}
+    for spec in args.threshold or ():
+        metric, _, value = spec.partition("=")
+        if not value:
+            _build_diff_parser().error(f"--threshold must be METRIC=REL, got {spec!r}")
+        thresholds[metric] = float(value)
+    report = diff_docs(
+        load_summary(base_path),
+        load_summary(args.new),
+        thresholds=thresholds,
+        default_threshold=(
+            DEFAULT_THRESHOLD if args.default_threshold is None else args.default_threshold
+        ),
+        base_label=base_path,
+        new_label=args.new,
+    )
+    print(report.format(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
@@ -372,6 +544,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_run(argv[1:])
     if argv and argv[0] == "check":
         return _run_check(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _run_metrics(argv[1:])
+    if argv and argv[0] == "diff":
+        return _run_diff(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -170,6 +170,7 @@ def run_app(
     max_tasks: int = 20_000_000,
     sink=None,
     validate: bool = False,
+    metrics=False,
     perturb=None,
     **params,
 ) -> AppResult:
@@ -184,9 +185,23 @@ def run_app(
     ``validate=True`` checks the finished output against the app's answer
     oracle (:func:`repro.check.oracles.validate`) and raises
     :class:`repro.check.oracles.OracleError` on a wrong answer — works
-    for every policy, BSP included.  ``perturb`` is the engine's
-    pop-stagger hook (see :meth:`~repro.core.engine.ExecutionEngine.pop_stagger`);
-    it requires an engine-level policy.
+    for every policy, BSP included.  On engine-level policies it also
+    attaches a live :class:`~repro.check.invariants.InvariantMonitor`,
+    composed with any user ``sink`` through
+    :class:`~repro.obs.events.MultiSink`, and raises
+    :class:`~repro.check.invariants.InvariantViolation` if the run broke
+    a model law (previously a user sink and the monitor were mutually
+    exclusive).
+
+    ``metrics=True`` (or a pre-configured
+    :class:`~repro.metrics.sink.MetricsSink`) streams the run's telemetry
+    and stores the :func:`~repro.metrics.summary.summarize` document in
+    ``result.extra["metrics"]``.  Sinks are passive, so attaching any
+    combination leaves simulated results bit-identical.
+
+    ``perturb`` is the engine's pop-stagger hook (see
+    :meth:`~repro.core.engine.ExecutionEngine.pop_stagger`); it requires
+    an engine-level policy.
     """
     adapter = get_adapter(app)
     policy = policy_for(config)
@@ -197,6 +212,11 @@ def run_app(
             raise ValueError(
                 f"policy {policy.name!r} runs at application level; "
                 "perturb requires an engine-level policy"
+            )
+        if metrics:
+            raise ValueError(
+                f"policy {policy.name!r} runs at application level and emits "
+                "no engine events; metrics requires an engine-level policy"
             )
         result = adapter.bsp(graph, spec=spec, **params)
         if validate:
@@ -209,9 +229,25 @@ def run_app(
     if adapter.tune_config is not None:
         config = adapter.tune_config(config)
     kernel = adapter.make_kernel(graph, **params)
+    metrics_sink = None
+    if metrics:
+        from repro.metrics.sink import MetricsSink
+
+        metrics_sink = metrics if isinstance(metrics, MetricsSink) else MetricsSink()
+    monitor = None
+    if validate:
+        from repro.check.invariants import InvariantMonitor
+
+        monitor = InvariantMonitor()
+    effective_sink = sink
+    if metrics_sink is not None or monitor is not None:
+        from repro.obs.events import MultiSink
+
+        attached = [s for s in (sink, metrics_sink, monitor) if s is not None]
+        effective_sink = attached[0] if len(attached) == 1 else MultiSink(*attached)
     res = run_policy(
-        kernel, config, policy=policy, spec=spec, max_tasks=max_tasks, sink=sink,
-        perturb=perturb,
+        kernel, config, policy=policy, spec=spec, max_tasks=max_tasks,
+        sink=effective_sink, perturb=perturb,
     )
     extra = _base_extra(res)
     if adapter.extra is not None:
@@ -229,6 +265,19 @@ def run_app(
         trace=res.trace,
         extra=extra,
     )
+    if metrics_sink is not None:
+        from repro.metrics.summary import summarize
+
+        result.extra["metrics"] = summarize(
+            metrics_sink,
+            app=adapter.name,
+            dataset=graph.name,
+            config=config.name,
+            elapsed_ns=res.elapsed_ns,
+        )
+    if monitor is not None:
+        monitor.reconcile(result)
+        monitor.assert_clean()
     if validate:
         _validate_output(app, graph, result, params)
     return result

@@ -51,6 +51,9 @@ class Lab:
     #: oracle-check every run's output (repro.check.oracles); wrong
     #: answers raise instead of silently feeding a table
     validate: bool = False
+    #: stream telemetry on every engine-level run (repro.metrics): the
+    #: MetricsSummary document lands in ``result.extra["metrics"]``
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         self._graphs: dict[str, Csr] = {}
@@ -90,9 +93,17 @@ class Lab:
             spec=self.spec,
             max_tasks=self.max_tasks,
             validate=self.validate,
+            metrics=self.metrics and CONFIGS[impl].strategy is not KernelStrategy.BSP,
         )
+        self._stamp_metrics(result)
         self._results[cache_key] = result
         return result
+
+    def _stamp_metrics(self, result: AppResult) -> None:
+        """Fill the Lab-level identity (size) into a run's MetricsSummary."""
+        summary = result.extra.get("metrics")
+        if summary is not None:
+            summary["size"] = self.size
 
     def run_grid(
         self,
@@ -171,15 +182,18 @@ class Lab:
         *,
         permuted: bool = False,
         sink=None,
+        metrics=None,
     ) -> AppResult:
         """Run an arbitrary configuration (design-space sweeps).
 
         ``sink`` attaches an observability sink (:class:`repro.obs.Collector`)
         to the run; unlike :meth:`run`, nothing here is memoised, so the
-        sink always observes a fresh execution.
+        sink always observes a fresh execution.  ``metrics`` overrides the
+        Lab-level default (``True``/``False`` or a pre-configured
+        :class:`~repro.metrics.sink.MetricsSink`).
         """
         graph = self.graph(dataset, permuted=permuted)
-        return run_app(
+        result = run_app(
             app,
             graph,
             config,
@@ -187,7 +201,14 @@ class Lab:
             max_tasks=self.max_tasks,
             sink=sink,
             validate=self.validate,
+            metrics=(
+                self.metrics and config.strategy is not KernelStrategy.BSP
+                if metrics is None
+                else metrics
+            ),
         )
+        self._stamp_metrics(result)
+        return result
 
     # ------------------------------------------------------------------
     # Table 1

@@ -1,0 +1,63 @@
+"""``repro.metrics`` — bounded-memory streaming telemetry + regression diffs.
+
+The time-series layer behind the paper's headline arguments (frontier
+size vs. launch overhead, resident-worker occupancy, queue depth under
+stealing), built on the :mod:`repro.obs` event stream:
+
+* :mod:`repro.metrics.hist` — HDR-style log-bucketed histograms;
+* :mod:`repro.metrics.series` — fixed-stride, auto-rescaling simulated-time
+  series;
+* :mod:`repro.metrics.sink` — :class:`MetricsSink`, the streaming
+  ``EventSink`` (O(buckets + strides) memory, never O(events));
+* :mod:`repro.metrics.summary` — the stable ``MetricsSummary`` schema;
+* :mod:`repro.metrics.export` — Prometheus text, JSONL, CSV, sparklines;
+* :mod:`repro.metrics.diff` — per-metric thresholded regression diffs;
+* :mod:`repro.metrics.baseline` — the committed diff anchor.
+
+Attach through the dispatch layer (``run_app(..., metrics=True)``,
+``Lab(metrics=True)``) or from a shell::
+
+    python -m repro metrics bfs roadNet-CA --config persist-warp
+    python -m repro diff new_summary.json BENCH_metrics_baseline.json
+"""
+
+from repro.metrics.baseline import (
+    BASELINE_CELLS,
+    BASELINE_SCHEMA,
+    collect_baseline,
+    validate_baseline,
+)
+from repro.metrics.diff import DiffReport, diff_docs, diff_summaries
+from repro.metrics.export import format_dashboard, series_csv, to_jsonl, to_prometheus
+from repro.metrics.hist import LogHistogram
+from repro.metrics.series import StrideSeries
+from repro.metrics.sink import MetricsSink
+from repro.metrics.summary import (
+    SUMMARY_SCHEMA,
+    load_summary,
+    summarize,
+    validate_summary,
+    write_summary,
+)
+
+__all__ = [
+    "LogHistogram",
+    "StrideSeries",
+    "MetricsSink",
+    "SUMMARY_SCHEMA",
+    "summarize",
+    "validate_summary",
+    "write_summary",
+    "load_summary",
+    "to_prometheus",
+    "to_jsonl",
+    "series_csv",
+    "format_dashboard",
+    "DiffReport",
+    "diff_summaries",
+    "diff_docs",
+    "BASELINE_SCHEMA",
+    "BASELINE_CELLS",
+    "collect_baseline",
+    "validate_baseline",
+]

@@ -1,0 +1,94 @@
+"""The committed metrics baseline: ``BENCH_metrics_baseline.json``.
+
+A baseline is a cell-keyed collection of ``MetricsSummary`` documents over
+a small, fast sweep — the diff anchor future engine changes are compared
+against (``python -m repro diff <new> BENCH_metrics_baseline.json``).
+Cells run at size ``tiny`` so regeneration takes seconds; summaries hold
+only simulated-time quantities, so the committed file is bit-reproducible
+on any machine (same reason the golden digests are).
+
+Regenerate after an intentional behavior change with::
+
+    python -m repro metrics --write-baseline BENCH_metrics_baseline.json
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.metrics.summary import validate_summary
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BASELINE_CELLS",
+    "BASELINE_PATH",
+    "cell_key",
+    "collect_baseline",
+    "validate_baseline",
+]
+
+BASELINE_SCHEMA = "repro.metrics/baseline-v1"
+BASELINE_PATH = "BENCH_metrics_baseline.json"
+
+#: (app, dataset, config) — one traversal, one data-centric and one
+#: speculative app (the Table 1 families) plus a hybrid and a stealing-free
+#: discrete cell, small enough that the whole sweep is a CI smoke job
+BASELINE_CELLS: tuple[tuple[str, str, str], ...] = (
+    ("bfs", "roadNet-CA", "persist-warp"),
+    ("bfs", "road_usa", "hybrid-CTA"),
+    ("pagerank", "soc-LiveJournal1", "persist-CTA"),
+    ("coloring", "indochina-2004", "discrete-CTA"),
+    ("sssp", "roadNet-CA", "discrete-warp"),
+    ("cc", "soc-LiveJournal1", "persist-warp"),
+)
+
+
+def cell_key(app: str, dataset: str, config: str) -> str:
+    return f"{app}:{dataset}:{config}"
+
+
+def collect_baseline(
+    *,
+    size: str = "tiny",
+    cells: Iterable[tuple[str, str, str]] = BASELINE_CELLS,
+) -> dict:
+    """Run every baseline cell with a metrics sink and bundle the summaries."""
+    from repro.harness.runner import Lab
+
+    lab = Lab(size=size, metrics=True)
+    out: dict[str, dict] = {}
+    for app, dataset, config in cells:
+        summary = lab.run(app, dataset, config).extra["metrics"]
+        # key by the summary's own identity (dataset is the graph's name,
+        # e.g. "roadNet-CA-sim") so baseline-vs-summary lookups match
+        out[cell_key(summary["app"], summary["dataset"], summary["config"])] = summary
+    return {
+        "schema": BASELINE_SCHEMA,
+        "size": size,
+        "cells": out,
+    }
+
+
+def validate_baseline(doc: dict) -> list[str]:
+    """Schema check for a baseline document (empty list = valid)."""
+    if not isinstance(doc, dict):
+        return [f"baseline must be a dict, got {type(doc).__name__}"]
+    problems: list[str] = []
+    if doc.get("schema") != BASELINE_SCHEMA:
+        problems.append(f"schema {doc.get('schema')!r} != {BASELINE_SCHEMA!r}")
+    if not isinstance(doc.get("size"), str):
+        problems.append("missing/invalid 'size'")
+    cells = doc.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        problems.append("'cells' must be a non-empty dict")
+        return problems
+    for key, summary in sorted(cells.items()):
+        for problem in validate_summary(summary):
+            problems.append(f"cell {key!r}: {problem}")
+        if isinstance(summary, dict):
+            ident = cell_key(
+                summary.get("app", ""), summary.get("dataset", ""), summary.get("config", "")
+            )
+            if ident != key:
+                problems.append(f"cell {key!r} holds summary for {ident!r}")
+    return problems

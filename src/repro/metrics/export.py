@@ -1,0 +1,169 @@
+"""Metric exporters: Prometheus text, JSONL, CSV, sparkline dashboard.
+
+All exporters operate on the schema-stable ``MetricsSummary`` document
+(:func:`repro.metrics.summary.summarize`), not on a live sink, so a
+summary written yesterday exports identically today.  Output is
+deterministic — fixed ordering, fixed separators — making exported files
+diffable artifacts like the Chrome traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.sink import COUNTER_NAMES, HISTOGRAM_NAMES, SERIES_NAMES
+
+__all__ = ["to_prometheus", "to_jsonl", "series_csv", "format_dashboard"]
+
+#: counters exported as Prometheus gauges (high-water marks, not totals)
+_GAUGE_COUNTERS = {"max_queue_depth", "max_in_flight"}
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _labels(doc: dict) -> str:
+    pairs = [
+        (key, doc.get(key, "")) for key in ("app", "dataset", "config", "size")
+    ]
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs if v)
+    return "{" + inner + "}" if inner else ""
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def to_prometheus(doc: dict, *, prefix: str = "repro") -> str:
+    """Render a summary in the Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total``, high-water marks become
+    gauges, histograms use the native cumulative-``le`` representation
+    (bucket upper bounds from the log layout), and each series' peak is
+    exported as a gauge — Prometheus has no series type; the full curves
+    live in the JSONL/CSV exports.
+    """
+    labels = _labels(doc)
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, value: float, extra_label: str = "") -> None:
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"{name}{extra_label or labels} {_fmt(value)}")
+
+    metric(f"{prefix}_elapsed_ns", "gauge", doc["elapsed_ns"])
+    for cname in COUNTER_NAMES:
+        value = doc["counters"][cname]
+        if cname in _GAUGE_COUNTERS:
+            metric(f"{prefix}_{cname}", "gauge", value)
+        else:
+            metric(f"{prefix}_{cname}_total", "counter", value)
+    for hname in HISTOGRAM_NAMES:
+        h = doc["histograms"][hname]
+        base = f"{prefix}_{hname}"
+        lines.append(f"# TYPE {base} histogram")
+        subbuckets = h["subbuckets"]
+        min_value = h["min_value"]
+        cumulative = h["zero"]
+        for idx in sorted(int(k) for k in h["buckets"]):
+            cumulative += h["buckets"][str(idx)]
+            octave, sub = divmod(idx, subbuckets)
+            le = min_value * 2.0**octave * (1.0 + (sub + 1) / subbuckets)
+            le_labels = labels[:-1] + f',le="{le!r}"}}' if labels else f'{{le="{le!r}"}}'
+            lines.append(f"{base}_bucket{le_labels} {cumulative}")
+        le_labels = labels[:-1] + ',le="+Inf"}' if labels else '{le="+Inf"}'
+        lines.append(f"{base}_bucket{le_labels} {h['count']}")
+        lines.append(f"{base}_sum{labels} {_fmt(h['sum'])}")
+        lines.append(f"{base}_count{labels} {h['count']}")
+    for sname in SERIES_NAMES:
+        metric(f"{prefix}_{sname}_peak", "gauge", doc["series"][sname]["peak"])
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(doc: dict) -> str:
+    """One JSON object per line: run header, counters, histograms, series.
+
+    Line-oriented so downstream tooling (``jq``, log shippers) can stream
+    it; every line carries ``kind`` and the run identity.
+    """
+    ident = {key: doc.get(key, "") for key in ("app", "dataset", "config", "size")}
+    records: list[dict] = [
+        {"kind": "run", **ident, "elapsed_ns": doc["elapsed_ns"],
+         "events_seen": doc["events_seen"], "schema": doc["schema"]},
+        {"kind": "counters", **ident, **doc["counters"]},
+    ]
+    for hname in HISTOGRAM_NAMES:
+        records.append({"kind": "histogram", "name": hname, **ident,
+                        **doc["histograms"][hname]})
+    for sname in SERIES_NAMES:
+        payload = dict(doc["series"][sname])
+        # the series' own "kind" (rate/gauge) must not clobber the record kind
+        payload["series_kind"] = payload.pop("kind")
+        records.append({"kind": "series", "name": sname, **ident, **payload})
+    return "\n".join(
+        json.dumps(rec, sort_keys=True, separators=(",", ":")) for rec in records
+    ) + "\n"
+
+
+def series_csv(doc: dict) -> str:
+    """Long-format CSV of every time series: ``series,bin,t_ns,value``."""
+    rows = ["series,bin,t_ns,value"]
+    for sname in SERIES_NAMES:
+        s = doc["series"][sname]
+        stride = s["stride_ns"]
+        for i, value in enumerate(s["values"]):
+            rows.append(f"{sname},{i},{i * stride!r},{value!r}")
+    return "\n".join(rows) + "\n"
+
+
+def _spark(values: list[float], width: int = 60) -> str:
+    if not values:
+        return "(no data)"
+    if len(values) > width:  # re-bin to display width by max (peaks matter)
+        binned = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            binned.append(max(values[lo:hi]))
+        values = binned
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1, int(v / peak * (len(_SPARK_BLOCKS) - 1)))]
+        for v in values
+    )
+
+
+def format_dashboard(doc: dict) -> str:
+    """ASCII dashboard: headline numbers + one sparkline per series."""
+    c = doc["counters"]
+    head = " ".join(filter(None, (doc.get("app"), doc.get("dataset"),
+                                  f"[{doc.get('config')}]" if doc.get("config") else "",
+                                  f"size={doc.get('size')}" if doc.get("size") else "")))
+    lines = [
+        f"metrics — {head}" if head else "metrics",
+        f"  elapsed {doc['elapsed_ns'] / 1e6:.3f} ms   events {doc['events_seen']}   "
+        f"tasks {int(c['task_pops'])}   retired {int(c['items_retired'])}",
+        f"  launches {int(c['kernel_launches'])}   generations {int(c['generations'])}   "
+        f"switches {int(c['policy_switches'])}   steals {int(c['steals'])}   "
+        f"empty pops {int(c['empty_pops'])}",
+    ]
+    lat = doc["histograms"]["task_latency_ns"]
+    wait = doc["histograms"]["queue_wait_ns"]
+    lines.append(
+        f"  task latency ns  p50={lat['p50']:.0f} p90={lat['p90']:.0f} "
+        f"p99={lat['p99']:.0f} max={lat['max']:.0f}"
+    )
+    lines.append(
+        f"  queue wait ns    p50={wait['p50']:.0f} p90={wait['p90']:.0f} "
+        f"p99={wait['p99']:.0f} max={wait['max']:.0f}"
+    )
+    label_w = max(len(name) for name in SERIES_NAMES)
+    for sname in SERIES_NAMES:
+        s = doc["series"][sname]
+        unit = "" if s["kind"] == "gauge" else f"/{s['stride_ns'] / 1e3:g}us"
+        lines.append(
+            f"  {sname:<{label_w}s} {_spark(s['values'])} peak={s['peak']:g}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Log-bucketed (HDR-style) streaming histograms.
+
+:class:`LogHistogram` records a value distribution in O(buckets) memory:
+each sample lands in a geometric bucket — power-of-two octaves split into
+``subbuckets`` linear sub-buckets, the HdrHistogram layout — so the
+retained state is one sparse ``{bucket_index: count}`` dict plus four
+scalars (count, sum, min, max), never the samples themselves.
+
+Bucket indexing is exact float arithmetic (``math.frexp``, no ``log``):
+the same sample always lands in the same bucket on every platform, which
+is what lets a committed :mod:`repro.metrics.summary` baseline diff
+bit-exactly across machines.  ``sum`` accumulates in record order, so a
+histogram rebuilt from a full :class:`~repro.obs.collector.Collector`
+event dump in stream order reproduces the streaming value *exactly* —
+the cross-check ``tests/test_metrics_stream.py`` pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+__all__ = ["LogHistogram"]
+
+#: quarter-octave sub-bucketing: worst-case relative bucket width ~19%
+DEFAULT_SUBBUCKETS = 4
+
+
+class LogHistogram:
+    """Streaming histogram over positive values with geometric buckets.
+
+    ``min_value`` is the resolution floor: samples in ``(0, min_value)``
+    land in bucket 0, samples ``<= 0`` in the dedicated zero bucket.
+    Above the floor, bucket ``octave * subbuckets + sub`` covers
+    ``[2**octave * (1 + sub/subbuckets), 2**octave * (1 + (sub+1)/subbuckets))``
+    times ``min_value``.
+    """
+
+    __slots__ = ("min_value", "subbuckets", "buckets", "zero", "count", "sum", "min", "max")
+
+    def __init__(self, *, min_value: float = 1.0, subbuckets: int = DEFAULT_SUBBUCKETS) -> None:
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if subbuckets < 1:
+            raise ValueError("subbuckets must be >= 1")
+        self.min_value = float(min_value)
+        self.subbuckets = int(subbuckets)
+        self.buckets: dict[int, int] = {}
+        self.zero = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def record(self, value: float, n: int = 1) -> None:
+        """Add ``n`` samples of ``value``."""
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero += n
+            return
+        idx = self._index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    def _index(self, value: float) -> int:
+        """Bucket index for a positive value (exact frexp arithmetic)."""
+        n = value / self.min_value
+        if n < 1.0:
+            return 0
+        m, e = math.frexp(n)  # n = m * 2**e, m in [0.5, 1)
+        octave = e - 1  # n in [2**octave, 2**(octave+1))
+        sub = int((m - 0.5) * 2.0 * self.subbuckets)
+        if sub >= self.subbuckets:  # m == 1.0 cannot happen, but guard rounding
+            sub = self.subbuckets - 1
+        return octave * self.subbuckets + sub
+
+    def bucket_bounds(self, idx: int) -> tuple[float, float]:
+        """``[lo, hi)`` value range covered by bucket ``idx``."""
+        octave, sub = divmod(idx, self.subbuckets)
+        scale = self.min_value * 2.0**octave
+        lo = scale * (1.0 + sub / self.subbuckets)
+        hi = scale * (1.0 + (sub + 1) / self.subbuckets)
+        if idx == 0:
+            lo = 0.0  # bucket 0 also absorbs (0, min_value)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of retained (non-empty) buckets — the memory bound."""
+        return len(self.buckets)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """``(bucket_index, count)`` pairs in ascending bucket order."""
+        return iter(sorted(self.buckets.items()))
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile sample.
+
+        Exact ``min``/``max`` are reported for q = 0 / 1; anything in
+        between is resolved to bucket precision (≤ ~``1/subbuckets``
+        relative error).  Returns 0.0 on an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * self.count
+        seen = self.zero
+        if rank <= seen:
+            return 0.0
+        for idx, cnt in self.items():
+            seen += cnt
+            if rank <= seen:
+                hi = self.bucket_bounds(idx)[1]
+                return min(hi, self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same layout) into this one."""
+        if (other.min_value, other.subbuckets) != (self.min_value, self.subbuckets):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        self.count += other.count
+        self.sum += other.sum
+        self.zero += other.zero
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for idx, cnt in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + cnt
+
+    def to_dict(self) -> dict:
+        """JSON-stable snapshot (bucket keys stringified, sorted on dump)."""
+        return {
+            "min_value": self.min_value,
+            "subbuckets": self.subbuckets,
+            "count": self.count,
+            "sum": self.sum,
+            "zero": self.zero,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": {str(idx): cnt for idx, cnt in self.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "LogHistogram":
+        h = cls(min_value=doc["min_value"], subbuckets=doc["subbuckets"])
+        h.count = int(doc["count"])
+        h.sum = float(doc["sum"])
+        h.zero = int(doc["zero"])
+        if h.count:
+            h.min = float(doc["min"])
+            h.max = float(doc["max"])
+        h.buckets = {int(k): int(v) for k, v in doc["buckets"].items()}
+        return h

@@ -25,6 +25,7 @@ from repro.obs.events import (
     GenerationEnd,
     GenerationStart,
     KernelLaunch,
+    MultiSink,
     PolicySwitch,
     QueuePop,
     QueuePush,
@@ -43,6 +44,7 @@ __all__ = [
     "WorkerSummary",
     "TraceEvent",
     "EventSink",
+    "MultiSink",
     "TaskPop",
     "TaskRead",
     "TaskComplete",

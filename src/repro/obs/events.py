@@ -47,6 +47,7 @@ __all__ = [
     "Barrier",
     "PolicySwitch",
     "EventSink",
+    "MultiSink",
 ]
 
 
@@ -196,3 +197,33 @@ class EventSink(Protocol):
 
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover - protocol
         ...
+
+
+class MultiSink:
+    """Fan one event stream out to several sinks, in order.
+
+    Lets a :class:`~repro.obs.collector.Collector`, a
+    :class:`~repro.metrics.sink.MetricsSink` and a
+    :class:`~repro.check.invariants.InvariantMonitor` all observe the same
+    run — producers still hold exactly one ``sink``.  ``None`` entries are
+    dropped and nested ``MultiSink`` instances are flattened, so callers
+    can compose optional sinks without special-casing; a ``MultiSink``
+    over zero or one sink is never needed (pass the sink, or ``None``).
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks: "EventSink | None") -> None:
+        flat: list[EventSink] = []
+        for sink in sinks:
+            if sink is None:
+                continue
+            if isinstance(sink, MultiSink):
+                flat.extend(sink.sinks)
+            else:
+                flat.append(sink)
+        self.sinks: tuple[EventSink, ...] = tuple(flat)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)

@@ -39,7 +39,9 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_PRESETS",
     "BENCH_DATASETS",
+    "METRICS_CELLS",
     "bench_cells",
+    "bench_metrics",
     "calibrate",
     "run_bench",
     "validate_report",
@@ -51,6 +53,15 @@ __all__ = [
 BENCH_SCHEMA = "repro.perf/bench-v1"
 BENCH_PRESETS = ("persist-warp", "persist-CTA", "discrete-CTA")
 BENCH_DATASETS = ("roadNet-CA", "soc-LiveJournal1")
+
+#: cells re-run (untimed) with a streaming MetricsSink when
+#: ``run_bench(metrics=True)`` — one per engine preset, covering a
+#: traversal, a data-centric and a speculative app
+METRICS_CELLS = (
+    ("bfs", "roadNet-CA", "persist-warp"),
+    ("pagerank", "soc-LiveJournal1", "persist-CTA"),
+    ("coloring", "roadNet-CA", "discrete-CTA"),
+)
 
 
 def bench_cells() -> list[SweepCell]:
@@ -93,12 +104,20 @@ def run_bench(
     repeats: int = 3,
     workers: int | None = None,
     pre_wall_s: float | None = None,
+    metrics: bool = False,
 ) -> dict:
     """Run the benchmark scenario and return the report document.
 
     ``pre_wall_s`` optionally records the wall time of the identical
     scenario measured on the pre-optimization engine (same machine, same
     session), from which the headline ``speedup_vs_pre`` is derived.
+
+    ``metrics=True`` re-runs the :data:`METRICS_CELLS` subset *outside*
+    the timed region with a streaming
+    :class:`~repro.metrics.sink.MetricsSink` attached and embeds the
+    resulting cell-keyed ``MetricsSummary`` documents under
+    ``doc["metrics"]`` — so a wall-clock report also carries the
+    simulated-time telemetry ``python -m repro diff`` can compare.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -154,7 +173,32 @@ def run_bench(
     if pre_wall_s is not None:
         doc["pre_wall_s"] = pre_wall_s
         doc["speedup_vs_pre"] = pre_wall_s / best
+    if metrics:
+        doc["metrics"] = bench_metrics(size=size)
     return doc
+
+
+def bench_metrics(
+    *,
+    size: str = "small",
+    cells: tuple[tuple[str, str, str], ...] = METRICS_CELLS,
+) -> dict:
+    """Cell-keyed ``MetricsSummary`` docs for the benchmark's metrics cells.
+
+    Runs serially through a fresh :class:`~repro.harness.runner.Lab`
+    (never inside the timed region — sink-attached runs take the
+    engine's non-inlined path, which is the point of keeping the
+    telemetry pass separate from the wall measurement).
+    """
+    from repro.harness.runner import Lab
+    from repro.metrics.baseline import cell_key
+
+    lab = Lab(size=size, metrics=True)
+    out: dict[str, dict] = {}
+    for app, dataset, config in cells:
+        summary = lab.run(app, dataset, config).extra["metrics"]
+        out[cell_key(summary["app"], summary["dataset"], summary["config"])] = summary
+    return out
 
 
 _REQUIRED = {
@@ -209,6 +253,16 @@ def validate_report(doc: dict) -> list[str]:
         problems.append("t_end must be >= t_start (monotonic timestamps)")
     if doc["errors"]:
         problems.append(f"{len(doc['errors'])} cell error(s): {doc['errors'][:2]}")
+    if "metrics" in doc:
+        from repro.metrics.summary import validate_summary
+
+        if not isinstance(doc["metrics"], dict) or not doc["metrics"]:
+            problems.append("'metrics' must be a non-empty cell-keyed dict")
+        else:
+            for key, summary in sorted(doc["metrics"].items()):
+                problems.extend(
+                    f"metrics cell {key!r}: {p}" for p in validate_summary(summary)
+                )
     return problems
 
 
@@ -229,6 +283,8 @@ def format_report(doc: dict) -> str:
             f"  vs pre-engine   {doc['pre_wall_s']:.3f} s -> "
             f"{doc['speedup_vs_pre']:.2f}x speedup"
         )
+    if "metrics" in doc:
+        lines.append(f"  metrics cells   {', '.join(sorted(doc['metrics']))}")
     if doc["errors"]:
         lines.append(f"  ERRORS          {len(doc['errors'])}")
         lines.extend(f"    {e}" for e in doc["errors"][:5])

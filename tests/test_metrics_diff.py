@@ -1,0 +1,230 @@
+"""Regression-diff tests (repro.metrics.diff) and the metrics/diff CLIs.
+
+The acceptance contract: ``python -m repro diff`` exits zero when a
+summary is compared against itself and non-zero when a regression is
+injected; the document-level dispatch covers summary-vs-summary,
+baseline-vs-baseline (with missing/extra cell detection),
+summary-vs-baseline cell lookup, and calibration-normalized wall-clock
+bench reports.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro import __main__ as cli
+from repro.harness.runner import Lab
+from repro.metrics import diff_docs, diff_summaries
+from repro.metrics.baseline import (
+    BASELINE_SCHEMA,
+    cell_key,
+    collect_baseline,
+    validate_baseline,
+)
+from repro.metrics.diff import DEFAULT_THRESHOLDS, threshold_for
+from repro.metrics.summary import write_summary
+from repro.perf.bench import BENCH_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def summary():
+    lab = Lab(size="tiny", metrics=True)
+    return lab.run("bfs", "roadNet-CA", "persist-warp").extra["metrics"]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return collect_baseline(
+        size="tiny", cells=[("bfs", "roadNet-CA", "persist-warp")]
+    )
+
+
+def _perturbed(summary, path, factor):
+    doc = copy.deepcopy(summary)
+    keys = path.split(".")
+    target = doc
+    for key in keys[:-1]:
+        target = target[key]
+    target[keys[-1]] *= factor
+    return doc
+
+
+class TestThresholdMatching:
+    def test_exact_beats_prefix(self):
+        thr = {"counters.*": 0.5, "counters.task_pops": 0.1}
+        assert threshold_for("counters.task_pops", thr, 0.05) == 0.1
+        assert threshold_for("counters.steals", thr, 0.05) == 0.5
+
+    def test_longest_prefix_wins(self):
+        thr = {"histograms.*": 0.5, "histograms.task_latency_ns.*": 0.2}
+        assert threshold_for("histograms.task_latency_ns.p99", thr, 0.05) == 0.2
+        assert threshold_for("histograms.queue_wait_ns.p99", thr, 0.05) == 0.5
+
+    def test_default_fallback(self):
+        assert threshold_for("elapsed_ns", {}, 0.07) == 0.07
+
+
+class TestSummaryDiff:
+    def test_self_diff_is_clean(self, summary):
+        report = diff_summaries(summary, summary)
+        assert report.ok
+        assert report.entries and not report.regressions
+
+    def test_elapsed_increase_regresses(self, summary):
+        report = diff_summaries(summary, _perturbed(summary, "elapsed_ns", 1.5))
+        assert not report.ok
+        assert any(e.metric == "elapsed_ns" and e.regressed for e in report.entries)
+        assert "REGRESSED" in report.format()
+
+    def test_elapsed_decrease_is_improvement_not_regression(self, summary):
+        report = diff_summaries(summary, _perturbed(summary, "elapsed_ns", 0.5))
+        entry = next(e for e in report.entries if e.metric == "elapsed_ns")
+        assert entry.improved and not entry.regressed
+        assert report.ok
+
+    def test_anchor_counter_drifts_both_ways(self, summary):
+        for factor in (0.5, 1.5):
+            doc = _perturbed(summary, "counters.items_retired", factor)
+            doc["counters"]["items_retired"] = int(doc["counters"]["items_retired"])
+            report = diff_summaries(summary, doc)
+            assert any(
+                e.metric == "counters.items_retired" and e.regressed
+                for e in report.entries
+            ), factor
+
+    def test_invalid_summary_is_a_problem(self, summary):
+        broken = copy.deepcopy(summary)
+        del broken["counters"]["task_pops"]
+        report = diff_summaries(summary, broken)
+        assert not report.ok
+        assert report.problems
+
+    def test_threshold_override_silences_a_regression(self, summary):
+        bumped = _perturbed(summary, "elapsed_ns", 1.5)
+        report = diff_summaries(summary, bumped, thresholds={"elapsed_ns": 0.6})
+        assert report.ok
+
+
+class TestDocDispatch:
+    def test_baseline_self_diff(self, baseline):
+        assert validate_baseline(baseline) == []
+        report = diff_docs(baseline, baseline)
+        assert report.ok and report.entries
+
+    def test_baseline_missing_cell_is_a_problem(self, baseline):
+        pruned = copy.deepcopy(baseline)
+        pruned["cells"] = {}
+        report = diff_docs(baseline, pruned)
+        assert not report.ok
+        assert any("missing" in p for p in report.problems)
+
+    def test_summary_vs_baseline_matches_cell(self, summary, baseline):
+        key = cell_key(summary["app"], summary["dataset"], summary["config"])
+        assert key in baseline["cells"]
+        report = diff_docs(baseline, summary)
+        assert report.ok, report.format()
+
+    def test_summary_vs_baseline_unknown_cell(self, summary, baseline):
+        stranger = copy.deepcopy(summary)
+        stranger["app"] = "sssp"
+        report = diff_docs(baseline, stranger)
+        assert not report.ok
+        assert any("no cell" in p for p in report.problems)
+
+    def test_mismatched_schemas_refuse(self, summary):
+        other = {"schema": "unheard/of-v1"}
+        report = diff_docs(summary, other)
+        assert not report.ok and report.problems
+
+    def test_bench_diff_normalizes_by_calibration(self):
+        base = {
+            "schema": BENCH_SCHEMA, "size": "small", "cells_per_s": 100.0,
+            "sim_ns_per_wall_ms": 5000.0, "calibration_loop_ns": 1e7,
+        }
+        # same engine on a machine 2x slower: calibration doubles,
+        # throughput halves -> normalized comparison must be clean
+        slower = dict(base, cells_per_s=50.0, sim_ns_per_wall_ms=2500.0,
+                      calibration_loop_ns=2e7)
+        assert diff_docs(base, slower).ok
+        # genuinely slower engine on the same machine -> regression
+        worse = dict(base, cells_per_s=50.0, sim_ns_per_wall_ms=2500.0)
+        report = diff_docs(base, worse)
+        assert not report.ok
+        assert all(e.polarity == "higher" for e in report.entries)
+
+    def test_bench_diff_compares_embedded_metrics(self, summary):
+        key = cell_key(summary["app"], summary["dataset"], summary["config"])
+        base = {
+            "schema": BENCH_SCHEMA, "size": "tiny", "cells_per_s": 100.0,
+            "sim_ns_per_wall_ms": 5000.0, "calibration_loop_ns": 1e7,
+            "metrics": {key: summary},
+        }
+        new = copy.deepcopy(base)
+        new["metrics"][key]["elapsed_ns"] *= 1.5
+        report = diff_docs(base, new)
+        assert not report.ok
+        assert any(e.metric == f"{key}/elapsed_ns" for e in report.regressions)
+
+    def test_default_thresholds_loosen_histograms(self):
+        assert DEFAULT_THRESHOLDS["histograms.*"] > DEFAULT_THRESHOLDS["events_seen"]
+
+
+class TestCli:
+    def test_metrics_cli_writes_valid_summary(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        code = cli.main([
+            "metrics", "bfs", "roadNet-CA", "--config", "persist-warp",
+            "--size", "tiny", "--out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.metrics/summary-v1"
+        text = capsys.readouterr().out
+        assert "task latency" in text
+
+    def test_diff_cli_self_comparison_exits_zero(self, summary, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        write_summary(summary, path)
+        assert cli.main(["diff", str(path), str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_diff_cli_injected_regression_exits_nonzero(
+        self, summary, tmp_path, capsys
+    ):
+        base, bad = tmp_path / "base.json", tmp_path / "bad.json"
+        write_summary(summary, base)
+        write_summary(_perturbed(summary, "elapsed_ns", 2.0), bad)
+        assert cli.main(["diff", str(bad), str(base)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_diff_cli_threshold_override(self, summary, tmp_path):
+        base, bad = tmp_path / "base.json", tmp_path / "bad.json"
+        write_summary(summary, base)
+        write_summary(_perturbed(summary, "elapsed_ns", 1.5), bad)
+        assert cli.main([
+            "diff", str(bad), str(base), "--threshold", "elapsed_ns=0.6",
+        ]) == 0
+
+    def test_write_baseline_cli_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert cli.main(["metrics", "--write-baseline", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == BASELINE_SCHEMA
+        assert validate_baseline(doc) == []
+        # a freshly generated baseline diffs clean against itself via CLI
+        assert cli.main(["diff", str(path), str(path)]) == 0
+        capsys.readouterr()
+
+
+class TestLiveRegressionInjection:
+    def test_config_change_reads_as_drift(self, summary):
+        """A genuinely different engine configuration must not diff clean."""
+        lab = Lab(size="tiny", metrics=True)
+        other = lab.run("bfs", "roadNet-CA", "discrete-CTA").extra["metrics"]
+        other = copy.deepcopy(other)
+        other["config"] = summary["config"]  # masquerade as the same cell
+        report = diff_summaries(summary, other)
+        assert not report.ok

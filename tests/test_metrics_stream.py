@@ -1,0 +1,452 @@
+"""Streaming telemetry tests (repro.metrics): the tentpole contracts.
+
+Three acceptance criteria from the metrics subsystem pin down here:
+
+* **exactness** — every counter and histogram the streaming
+  :class:`MetricsSink` reports must be *exactly* derivable from a full
+  :class:`~repro.obs.collector.Collector` event dump (same floats, same
+  bucket contents), so the bounded sink loses no information the
+  summary claims to carry;
+* **bounded memory** — the retained-object count must be a function of
+  the bucket/stride caps, not of the event count;
+* **passivity** — attaching the sink (alone or fanned out through
+  :class:`~repro.obs.events.MultiSink`) must leave simulated behavior
+  bit-identical, pinned against the golden digests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import CONFIGS
+from repro.harness.runner import Lab
+from repro.metrics import (
+    LogHistogram,
+    MetricsSink,
+    StrideSeries,
+    format_dashboard,
+    series_csv,
+    summarize,
+    to_jsonl,
+    to_prometheus,
+    validate_summary,
+    write_summary,
+)
+from repro.metrics.sink import COUNTER_NAMES, HISTOGRAM_NAMES, SERIES_NAMES
+from repro.metrics.summary import load_summary
+from repro.obs import Collector, MultiSink
+from repro.obs.events import (
+    Barrier,
+    EmptyPop,
+    GenerationEnd,
+    GenerationStart,
+    KernelLaunch,
+    PolicySwitch,
+    QueuePop,
+    QueuePush,
+    QueueSteal,
+    TaskComplete,
+    TaskPop,
+    TaskRead,
+)
+
+STEAL_CTA = CONFIGS["discrete-CTA"].with_overrides(
+    worklist="stealing", num_queues=4, name="discrete-CTA+steal"
+)
+
+
+@pytest.fixture(scope="module")
+def lab() -> Lab:
+    return Lab(size="tiny")
+
+
+def _traced(lab, app, dataset, config):
+    collector, msink = Collector(), MetricsSink()
+    res = lab.run_config(app, dataset, config, sink=MultiSink(collector, msink))
+    return res, collector, msink
+
+
+@pytest.fixture(scope="module")
+def persist_cell(lab):
+    return _traced(lab, "bfs", "roadNet-CA", CONFIGS["persist-warp"])
+
+
+@pytest.fixture(scope="module")
+def steal_cell(lab):
+    """Discrete + stealing: exercises generations, barriers and steals."""
+    return _traced(lab, "coloring", "indochina-2004", STEAL_CTA)
+
+
+# ---------------------------------------------------------------------------
+# LogHistogram
+# ---------------------------------------------------------------------------
+
+class TestLogHistogram:
+    def test_basic_stats(self):
+        h = LogHistogram()
+        for v in (1.0, 2.0, 4.0, 800.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == 807.0
+        assert h.min == 1.0 and h.max == 800.0
+        assert h.mean == pytest.approx(201.75)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 800.0
+
+    def test_buckets_cover_their_samples(self):
+        h = LogHistogram(subbuckets=4)
+        for v in (1.0, 1.5, 3.0, 17.0, 1000.0, 123456.0):
+            h.record(v)
+            lo, hi = h.bucket_bounds(h._index(v))
+            assert lo <= v < hi
+
+    def test_zero_and_negative_land_in_zero_bucket(self):
+        h = LogHistogram()
+        h.record(0.0)
+        h.record(-3.0)
+        h.record(0.5)  # below min_value -> bucket 0, not zero bucket
+        assert h.zero == 2
+        assert h.buckets.get(0, 0) == 1
+        assert h.count == 3
+
+    def test_quantile_is_bucket_bounded(self):
+        h = LogHistogram(subbuckets=4)
+        for _ in range(100):
+            h.record(100.0)
+        p50 = h.quantile(0.5)
+        lo, hi = h.bucket_bounds(h._index(100.0))
+        assert lo <= 100.0 <= p50 <= hi
+
+    def test_merge_equals_bulk_recording(self):
+        a, b, bulk = LogHistogram(), LogHistogram(), LogHistogram()
+        for i, v in enumerate((3.0, 9.0, 27.0, 81.0, 243.0)):
+            (a if i % 2 == 0 else b).record(v)
+            bulk.record(v)
+        a.merge(b)
+        assert a.count == bulk.count
+        assert a.buckets == bulk.buckets
+        assert a.min == bulk.min and a.max == bulk.max
+
+    def test_merge_rejects_different_layout(self):
+        with pytest.raises(ValueError, match="layout"):
+            LogHistogram(subbuckets=4).merge(LogHistogram(subbuckets=8))
+
+    def test_dict_roundtrip(self):
+        h = LogHistogram()
+        for v in (0.0, 2.0, 5.0, 700.0):
+            h.record(v)
+        back = LogHistogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert back.buckets == h.buckets
+        assert back.count == h.count and back.zero == h.zero
+        assert back.quantile(0.9) == h.quantile(0.9)
+
+    def test_len_is_nonempty_bucket_count(self):
+        h = LogHistogram()
+        for _ in range(10_000):
+            h.record(64.0)
+        assert len(h) == 1
+
+
+# ---------------------------------------------------------------------------
+# StrideSeries
+# ---------------------------------------------------------------------------
+
+class TestStrideSeries:
+    def test_rate_accumulates_per_bin(self):
+        s = StrideSeries("rate", stride_ns=10.0, max_bins=8)
+        s.add(0.0)
+        s.add(5.0, 2.0)
+        s.add(25.0)
+        assert s.values() == [3.0, 0.0, 1.0]
+
+    def test_rate_rescale_preserves_total(self):
+        s = StrideSeries("rate", stride_ns=1.0, max_bins=4)
+        for t in range(100):
+            s.add(float(t))
+        assert s.rescales > 0
+        assert len(s) == 4  # memory bound holds through rescaling
+        assert sum(s.values()) == 100.0
+
+    def test_gauge_keeps_last_value_and_carries_forward(self):
+        s = StrideSeries("gauge", stride_ns=10.0, max_bins=8)
+        s.observe(1.0, 5.0)
+        s.observe(2.0, 7.0)  # same bin: later value wins
+        s.observe(35.0, 2.0)  # bins 1-2 unobserved: carry 7.0 forward
+        assert s.values() == [7.0, 7.0, 7.0, 2.0]
+
+    def test_gauge_rescale_keeps_later_bin(self):
+        s = StrideSeries("gauge", stride_ns=1.0, max_bins=4)
+        s.observe(0.0, 1.0)
+        s.observe(1.0, 9.0)
+        s.observe(7.0, 3.0)  # forces one rescale to stride 2
+        assert s.stride_ns == 2.0
+        assert s.values()[0] == 9.0  # bins 0+1 folded, later value kept
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            StrideSeries("gauge").add(0.0)
+        with pytest.raises(TypeError):
+            StrideSeries("rate").observe(0.0, 1.0)
+        with pytest.raises(ValueError):
+            StrideSeries("nope")
+
+
+# ---------------------------------------------------------------------------
+# Exact cross-check against a full Collector dump (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def _derived_counters(collector: Collector) -> dict:
+    """Rebuild every MetricsSink counter from the complete event dump."""
+    c = {name: 0 for name in COUNTER_NAMES}
+    c["work_units"] = 0.0
+    c["launch_ns"] = 0.0
+    c["barrier_ns"] = 0.0
+    in_flight = 0
+    open_workers: set[int] = set()
+    open_gen: int | None = None
+    for e in collector.events:
+        if isinstance(e, TaskPop):
+            c["task_pops"] += 1
+            c["task_items"] += e.items
+            open_workers.add(e.worker)
+            in_flight += 1
+            c["max_in_flight"] = max(c["max_in_flight"], in_flight)
+        elif isinstance(e, TaskRead):
+            c["task_reads"] += 1
+        elif isinstance(e, TaskComplete):
+            c["task_completes"] += 1
+            c["items_retired"] += e.retired
+            c["items_pushed_by_tasks"] += e.pushed
+            c["work_units"] += e.work
+            if e.worker in open_workers:
+                open_workers.discard(e.worker)
+                in_flight -= 1
+        elif isinstance(e, QueuePush):
+            c["queue_pushes"] += 1
+            c["queue_items_pushed"] += e.items
+        elif isinstance(e, QueuePop):
+            c["queue_pops"] += 1
+            c["queue_items_popped"] += e.items
+        elif isinstance(e, EmptyPop):
+            c["empty_pops"] += 1
+        elif isinstance(e, QueueSteal):
+            c["steals"] += 1
+            c["steal_items"] += e.items
+        elif isinstance(e, KernelLaunch):
+            c["kernel_launches"] += 1
+            c["launch_ns"] += e.duration_ns
+        elif isinstance(e, Barrier):
+            c["barriers"] += 1
+            c["barrier_ns"] += e.duration_ns
+        elif isinstance(e, GenerationStart):
+            open_gen = e.generation
+        elif isinstance(e, GenerationEnd):
+            if open_gen == e.generation:
+                c["generations"] += 1
+            open_gen = None
+        elif isinstance(e, PolicySwitch):
+            c["policy_switches"] += 1
+    c["max_queue_depth"] = int(
+        max((d for _, d in collector.queue_depth_series()), default=0)
+    )
+    return c
+
+
+def _derived_histograms(collector: Collector) -> dict[str, LogHistogram]:
+    """Rebuild every histogram from the event dump, in stream order."""
+    out = {name: LogHistogram() for name in HISTOGRAM_NAMES}
+    open_pops: dict[int, float] = {}
+    open_gen: tuple[int, float] | None = None
+    for e in collector.events:
+        if isinstance(e, TaskPop):
+            open_pops[e.worker] = e.t
+        elif isinstance(e, TaskComplete):
+            start = open_pops.pop(e.worker, None)
+            if start is not None:
+                out["task_latency_ns"].record(e.t - start)
+        elif isinstance(e, (QueuePush, QueuePop, EmptyPop)):
+            out["queue_wait_ns"].record(e.wait_ns)
+        elif isinstance(e, GenerationStart):
+            open_gen = (e.generation, e.t)
+        elif isinstance(e, GenerationEnd):
+            if open_gen is not None and open_gen[0] == e.generation:
+                out["generation_span_ns"].record(e.t - open_gen[1])
+            open_gen = None
+    return out
+
+
+class TestCollectorCrossCheck:
+    @pytest.mark.parametrize("cell", ["persist_cell", "steal_cell"])
+    def test_every_counter_matches_dump(self, cell, request):
+        _, collector, msink = request.getfixturevalue(cell)
+        assert msink.events_seen == len(collector.events)
+        derived = _derived_counters(collector)
+        for name in COUNTER_NAMES:
+            assert msink.counters[name] == derived[name], name
+
+    @pytest.mark.parametrize("cell", ["persist_cell", "steal_cell"])
+    def test_every_histogram_matches_dump_exactly(self, cell, request):
+        _, collector, msink = request.getfixturevalue(cell)
+        derived = _derived_histograms(collector)
+        for name in HISTOGRAM_NAMES:
+            d, s = derived[name], msink.histograms[name]
+            assert d.count == s.count, name
+            assert d.sum == s.sum, name  # exact: same accumulation order
+            assert d.buckets == s.buckets, name
+            if d.count:
+                assert d.min == s.min and d.max == s.max, name
+
+    def test_steal_cell_exercises_the_discrete_paths(self, steal_cell):
+        _, _, msink = steal_cell
+        assert msink.counters["generations"] > 0
+        assert msink.counters["steals"] > 0
+        assert msink.histograms["generation_span_ns"].count > 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+class TestBoundedMemory:
+    def test_retained_independent_of_event_count(self, lab):
+        small = MetricsSink(stride_ns=64.0, max_bins=16)
+        lab.run_config(
+            "bfs", "roadNet-CA", CONFIGS["persist-warp"], metrics=small
+        )
+        big = MetricsSink(stride_ns=64.0, max_bins=16)
+        Lab(size="small").run_config(
+            "bfs", "roadNet-CA", CONFIGS["persist-warp"], metrics=big
+        )
+        total_bins = sum(len(s) for s in big.series.values())
+        assert big.events_seen >= 10 * total_bins, "workload too small to prove the bound"
+        # retained state tracks the caps, not the stream length
+        assert big.events_seen > 2 * small.events_seen
+        assert big.retained() <= 2 * small.retained()
+        assert big.retained() < big.events_seen / 10
+
+    def test_series_never_exceed_bin_cap(self, lab):
+        sink = MetricsSink(stride_ns=1.0, max_bins=8)  # forces many rescales
+        lab.run_config("bfs", "roadNet-CA", CONFIGS["persist-warp"], metrics=sink)
+        for name in SERIES_NAMES:
+            s = sink.series[name]
+            assert len(s) == 8
+            assert len(s.values()) <= 8
+        assert sink.series["queue_depth"].rescales > 0
+
+
+# ---------------------------------------------------------------------------
+# Passivity: bit-identical results with the sink attached
+# ---------------------------------------------------------------------------
+
+class TestPassivity:
+    def test_digest_unchanged_with_metrics_attached(self, lab):
+        from tests.test_equivalence import GOLDEN_DIGESTS
+
+        alone = Collector()
+        lab.run_config("bfs", "roadNet-CA", CONFIGS["persist-warp"], sink=alone)
+        fanned = Collector()
+        lab.run_config(
+            "bfs",
+            "roadNet-CA",
+            CONFIGS["persist-warp"],
+            sink=MultiSink(fanned, MetricsSink()),
+        )
+        golden = GOLDEN_DIGESTS[("bfs", "roadNet-CA", "persist-warp")]
+        assert alone.digest() == golden
+        assert fanned.digest() == golden
+
+    def test_results_identical_with_and_without_metrics(self, lab):
+        plain = lab.run_config("bfs", "roadNet-CA", CONFIGS["discrete-CTA"])
+        with_metrics = lab.run_config(
+            "bfs", "roadNet-CA", CONFIGS["discrete-CTA"], metrics=True
+        )
+        assert plain.elapsed_ns == with_metrics.elapsed_ns
+        assert plain.items_retired == with_metrics.items_retired
+        assert np.array_equal(plain.output, with_metrics.output)
+        assert "metrics" in with_metrics.extra
+        assert "metrics" not in plain.extra
+
+
+# ---------------------------------------------------------------------------
+# Summary + exporters
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def summary(persist_cell):
+    res, _, msink = persist_cell
+    return summarize(
+        msink,
+        app="bfs",
+        dataset=res.dataset,
+        config=res.impl,
+        size="tiny",
+        elapsed_ns=res.elapsed_ns,
+    )
+
+
+class TestSummary:
+    def test_summary_validates_clean(self, summary):
+        assert validate_summary(summary) == []
+
+    def test_lab_metrics_flag_stamps_size(self):
+        lab = Lab(size="tiny", metrics=True)
+        result = lab.run("bfs", "roadNet-CA", "persist-warp")
+        doc = result.extra["metrics"]
+        assert validate_summary(doc) == []
+        assert doc["size"] == "tiny"
+        assert doc["app"] == "bfs" and doc["config"] == "persist-warp"
+
+    def test_bsp_policy_rejects_metrics(self, lab):
+        with pytest.raises(ValueError, match="application level"):
+            lab.run_config("bfs", "roadNet-CA", CONFIGS["BSP"], metrics=True)
+
+    def test_validate_catches_drift(self, summary):
+        broken = json.loads(json.dumps(summary))
+        del broken["counters"]["task_pops"]
+        assert any("task_pops" in p for p in validate_summary(broken))
+        broken = json.loads(json.dumps(summary))
+        broken["histograms"]["task_latency_ns"]["count"] += 1
+        assert any("task_latency_ns" in p for p in validate_summary(broken))
+
+    def test_write_load_roundtrip_is_byte_deterministic(self, summary, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_summary(summary, a)
+        write_summary(load_summary(a), b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestExporters:
+    def test_prometheus_exposition(self, summary):
+        text = to_prometheus(summary)
+        assert 'repro_task_pops_total{app="bfs"' in text
+        assert 'le="+Inf"' in text
+        # the +Inf cumulative bucket must equal the histogram count
+        for line in text.splitlines():
+            if line.startswith("repro_task_latency_ns_bucket") and 'le="+Inf"' in line:
+                assert float(line.rsplit(" ", 1)[1]) == float(
+                    summary["histograms"]["task_latency_ns"]["count"]
+                )
+                break
+        else:
+            pytest.fail("no +Inf bucket emitted")
+
+    def test_jsonl_lines_parse(self, summary):
+        lines = to_jsonl(summary).splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = {r["kind"] for r in records}
+        assert {"run", "counters", "histogram", "series"} <= kinds
+
+    def test_series_csv_row_count(self, summary):
+        rows = series_csv(summary).splitlines()
+        assert rows[0] == "series,bin,t_ns,value"
+        expected = sum(len(summary["series"][n]["values"]) for n in SERIES_NAMES)
+        assert len(rows) == 1 + expected
+
+    def test_dashboard_renders(self, summary):
+        text = format_dashboard(summary)
+        assert "bfs" in text
+        assert "task latency" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")

@@ -20,6 +20,7 @@ from repro.obs import (
     Collector,
     EmptyPop,
     EventSink,
+    MultiSink,
     QueuePop,
     QueuePush,
     TaskComplete,
@@ -190,3 +191,136 @@ class TestTraceCli:
     def test_trace_cli_unknown_dataset_raises(self, tmp_path):
         with pytest.raises(KeyError, match="unknown dataset"):
             cli.main(["trace", "bfs", "nosuch", "--out", str(tmp_path / "t.json")])
+
+
+class TestMultiSink:
+    def test_fanout_delivers_to_every_sink_in_order(self):
+        seen: list[tuple[str, float]] = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def emit(self, event):
+                seen.append((self.tag, event.t))
+
+        fan = MultiSink(Tagged("a"), Tagged("b"))
+        fan.emit(TaskPop(t=1.0, worker=0, items=1))
+        fan.emit(TaskPop(t=2.0, worker=0, items=1))
+        assert seen == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0)]
+
+    def test_none_sinks_are_skipped_and_nesting_flattens(self):
+        a, b, c = Collector(), Collector(), Collector()
+        fan = MultiSink(a, None, MultiSink(b, None, c))
+        assert fan.sinks == (a, b, c)
+        fan.emit(TaskPop(t=0.0, worker=0, items=1))
+        assert len(a.events) == len(b.events) == len(c.events) == 1
+
+    def test_fanned_collectors_agree_with_a_lone_collector(self):
+        g = rmat(7, edge_factor=4, seed=3)
+        alone = Collector()
+        bfs.run_atos(g, PERSIST_WARP, spec=SPEC, sink=alone)
+        fan_a, fan_b = Collector(), Collector()
+        bfs.run_atos(g, PERSIST_WARP, spec=SPEC, sink=MultiSink(fan_a, fan_b))
+        assert fan_a.digest() == fan_b.digest() == alone.digest()
+
+    def test_validate_composes_with_user_sink(self):
+        """run_app(sink=..., validate=True) observes AND validates."""
+        from repro.apps.common import run_app
+        from repro.graph.generators import grid_mesh as mesh
+
+        sink = Collector()
+        result = run_app("bfs", mesh(8, 8), PERSIST_WARP, spec=SPEC,
+                         sink=sink, validate=True)
+        assert sink.events, "user sink saw no events alongside the monitor"
+        assert result.items_retired > 0
+
+
+class TestFormatProfileResult:
+    def test_accepts_run_result_directly(self):
+        res, sink = _traced_bfs(PERSIST_WARP)
+        via_result = format_profile(sink, res)
+        via_kwargs = format_profile(
+            sink,
+            elapsed_ns=res.elapsed_ns,
+            worker_slots=res.extra["worker_slots"],
+            config_name=res.impl,
+        )
+        assert via_result == via_kwargs
+        assert PERSIST_WARP.name in via_result
+
+    def test_explicit_kwargs_take_precedence(self):
+        res, sink = _traced_bfs(PERSIST_WARP)
+        text = format_profile(sink, res, config_name="override")
+        assert "override" in text
+        assert PERSIST_WARP.name not in text
+
+
+class TestChromeTraceSchema:
+    """Schema tests for the trace export (one persistent + one discrete run)."""
+
+    REQUIRED = {
+        "X": ("pid", "tid", "ts", "dur"),
+        "C": ("pid", "ts", "args"),
+        "i": ("pid", "tid", "ts", "s"),
+        "M": ("pid", "args"),
+    }
+
+    @pytest.fixture(scope="class", params=[PERSIST_WARP, DISCRETE_WARP],
+                    ids=lambda c: c.name)
+    def traced(self, request):
+        return _traced_bfs(request.param)
+
+    def test_every_event_has_required_keys(self, traced):
+        _, sink = traced
+        for e in to_chrome_trace(sink)["traceEvents"]:
+            assert e["ph"] in self.REQUIRED, f"unknown phase {e['ph']!r}"
+            for key in self.REQUIRED[e["ph"]]:
+                assert key in e, f"{e['ph']} event missing {key!r}: {e}"
+            if e["ph"] == "M":
+                assert "name" in e["args"]
+
+    def test_timestamps_monotonic_per_worker_track(self, traced):
+        _, sink = traced
+        doc = to_chrome_trace(sink)
+        worker_tids = {
+            e["tid"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e.get("args", {}).get("name", "").startswith("worker")
+        }
+        last: dict[int, float] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X" and e["tid"] in worker_tids:
+                assert e["ts"] >= last.get(e["tid"], 0.0), "task spans out of order"
+                last[e["tid"]] = e["ts"]
+        assert last, "no worker task spans exported"
+
+    def test_spans_are_nonnegative_and_counter_track_drains(self, traced):
+        _, sink = traced
+        doc = to_chrome_trace(sink)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters and counters[-1]["args"]["items"] == 0
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0.0 and e["ts"] >= 0.0
+
+    def test_generation_brackets_are_matched(self):
+        from repro.obs import GenerationEnd, GenerationStart
+
+        res, sink = _traced_bfs(DISCRETE_WARP)
+        starts = sink.events_of(GenerationStart)
+        ends = sink.events_of(GenerationEnd)
+        assert len(starts) == len(ends) > 0
+        doc = to_chrome_trace(sink)
+        gen_spans = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("generation")
+        ]
+        # every start/end bracket becomes exactly one scheduler-track span
+        assert len(gen_spans) == len(starts)
+        assert all(e["dur"] >= 0.0 for e in gen_spans)
+
+    def test_other_data_carries_digest(self, traced):
+        _, sink = traced
+        doc = to_chrome_trace(sink)
+        assert doc["otherData"]["digest"] == sink.digest()
+        assert doc["otherData"]["events"] == len(sink.events)
