@@ -26,6 +26,9 @@ Usage::
     python -m repro diff new_baseline.json BENCH_metrics_baseline.json
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
+``run``, ``check`` and ``perf`` also take ``--backend {event,batched}``
+(the engine inner loop, :mod:`repro.core.backend`): simulated results are
+bit-identical across backends, only wall-clock changes.
 
 The ``trace`` subcommand runs one (app, dataset, config) cell with a
 :class:`repro.obs.Collector` attached, writes a Chrome ``trace_event``
@@ -133,6 +136,12 @@ def _build_run_parser() -> argparse.ArgumentParser:
         help="named configuration (default: persist-CTA; see --list-configs)",
     )
     parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["event", "batched"],
+        help="engine inner loop (bit-identical results; default: the config's own)",
+    )
     parser.add_argument("--permuted", action="store_true", help="randomly permute vertex ids")
     parser.add_argument(
         "--list-configs", action="store_true", help="list named configurations and exit"
@@ -165,10 +174,11 @@ def _run_run(argv: list[str]) -> int:
         _build_run_parser().error("app and dataset are required (or use --list-*)")
     config = variant_by_name(args.config)
     dataset = resolve_dataset(args.dataset)
-    lab = Lab(size=args.size)
+    lab = Lab(size=args.size, backend=args.backend)
     result = lab.run(args.app, dataset, config.name, permuted=args.permuted)
 
-    print(f"{args.app} on {dataset} [{config.name}] size={args.size}")
+    backend_tag = f" backend={args.backend}" if args.backend else ""
+    print(f"{args.app} on {dataset} [{config.name}] size={args.size}{backend_tag}")
     print(f"  elapsed          {result.elapsed_ms:.3f} ms")
     print(f"  work units       {result.work_units:.0f}")
     print(f"  items retired    {result.items_retired}")
@@ -208,6 +218,12 @@ def _build_check_parser() -> argparse.ArgumentParser:
         "--amplitude", type=float, default=200.0, help="perturbation amplitude in ns"
     )
     parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["event", "batched"],
+        help="engine inner loop to validate (default: each config's own)",
+    )
     return parser
 
 
@@ -250,6 +266,13 @@ def _run_check(argv: list[str]) -> int:
     else:
         configs = [
             cfg for cfg in CONFIGS.values() if not policy_for(cfg).app_level
+        ]
+    if args.backend:
+        # rebasing the configs (rather than threading a run_app keyword)
+        # routes the override through the oracle checks AND the fuzzer below
+        configs = [
+            cfg if policy_for(cfg).app_level else cfg.with_overrides(backend=args.backend)
+            for cfg in configs
         ]
     failures = 0
 
@@ -299,6 +322,12 @@ def _build_perf_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["event", "batched"],
+        help="engine inner loop for every timed cell (default: preset default)",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="timed repeats (default 3)")
     parser.add_argument(
         "--workers",
@@ -348,6 +377,7 @@ def _run_perf(argv: list[str]) -> int:
         workers=args.workers,
         pre_wall_s=args.pre_wall_s,
         metrics=args.metrics,
+        backend=args.backend,
     )
     problems = validate_report(doc)
     print(format_report(doc))

@@ -126,6 +126,7 @@ class InvariantMonitor:
         self.items_retired = 0
         self.queue_items_pushed = 0
         self.queue_items_popped = 0
+        self.queue_items_banked = 0
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +170,7 @@ class InvariantMonitor:
             self._on_generation_end(event)
         elif isinstance(event, QueueSteal):
             self.counts["steals"] += 1
+            self.queue_items_banked += event.banked
         elif isinstance(event, KernelLaunch):
             self.counts["kernel_launches"] += 1
         elif isinstance(event, Barrier):
@@ -408,8 +410,12 @@ class InvariantMonitor:
             ("empty_pops", self.counts["empty_pops"]),
             ("queue_pushes", self.counts["queue_pushes"]),
             ("queue_pops", self.counts["queue_pops"]),
-            ("queue_items_pushed", self.queue_items_pushed),
-            ("queue_items_popped", self.queue_items_popped),
+            # the run reports *distinct* item totals; QueuePush/QueuePop
+            # events count banked steal surplus twice, so subtract the
+            # banked totals derived from the QueueSteal stream
+            ("queue_items_pushed", self.queue_items_pushed - self.queue_items_banked),
+            ("queue_items_popped", self.queue_items_popped - self.queue_items_banked),
+            ("queue_items_banked", self.queue_items_banked),
             ("steals", self.counts["steals"]),
             ("kernel_launches", self.counts["kernel_launches"]),
             ("policy_switches", self.counts["policy_switches"]),
@@ -466,4 +472,26 @@ def verify_queue_conservation(worklist: Any) -> None:
                 f"queue {q.name!r} leaks items: pushed {s.items_pushed} != "
                 f"popped {s.items_popped} + drained {s.items_drained} "
                 f"+ live {q.size}"
+            )
+    # worklist-level distinct-item equation: banked steal surplus appears in
+    # the raw per-queue totals twice (once at the victim's pop, once at the
+    # thief's banking push), so the aggregated stats() record must balance
+    # after removing the double count from both sides
+    stats_fn = getattr(worklist, "stats", None)
+    if callable(stats_fn):
+        st = stats_fn()
+        banked = st.banked_items
+        if not 0 <= banked <= min(st.items_pushed, st.items_popped):
+            raise InvariantViolation(
+                f"worklist banked {banked} items but only pushed "
+                f"{st.items_pushed} / popped {st.items_popped}"
+            )
+        drained = sum(q.stats.items_drained for q in physical)
+        distinct_pushed = st.items_pushed - banked
+        distinct_popped = st.items_popped - banked
+        if distinct_pushed != distinct_popped + drained + worklist.size:
+            raise InvariantViolation(
+                f"worklist leaks distinct items: pushed {distinct_pushed} != "
+                f"popped {distinct_popped} + drained {drained} "
+                f"+ live {worklist.size} (banked {banked})"
             )

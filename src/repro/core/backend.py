@@ -1,0 +1,506 @@
+"""The ``EngineBackend`` registry: interchangeable event-loop inner loops.
+
+:class:`~repro.core.engine.ExecutionEngine` owns the simulated hardware
+and the run accumulators; a *backend* owns the inner loop that drains the
+engine's event heap.  The split mirrors :mod:`repro.core.policy` — a
+policy decides *what* to run (launches, barriers, generations), a backend
+decides *how* the resulting READ/DONE events are processed — and it is
+registered the same way, so alternative loops are selectable per run
+(``AtosConfig.backend``, ``run_app(backend=)``, CLI ``--backend``).
+
+Two implementations ship:
+
+* ``"event"`` — the classic loop: one Python-level ``heappop`` per event.
+  This is the reference semantics, extracted verbatim from the engine.
+* ``"batched"`` — groups every READ event that falls inside the same
+  simulated read-window into one back-to-back pass over the flat
+  6-tuple events: the window prefix is extracted once, the per-event
+  dispatch/bookkeeping is hoisted out of it, and the window's DONE
+  events are bulk-rebuilt into the heap (``heapify``) instead of sifted
+  in one ``heappush`` at a time.  Discrete waves pop dozens of tasks
+  into the same window, so the loop overhead amortizes; persistent mode
+  (window length ~1) degrades gracefully to the event loop's cost.
+
+Every backend must be *bit-identical* to ``"event"`` on the golden
+obs-digest matrix (``tests/test_equivalence.py`` parametrizes over
+backends): same event order, same timestamps, same tie-breaks, same
+counters.  The window rule that makes batching safe is derived from the
+heap order itself — a READ at time ``t`` may be processed before a DONE
+at time ``x`` scheduled by an earlier READ iff ``t <= x``, because the
+READ's heap sequence number is always older than the DONE's.
+
+Events are flat 6-tuples ``(t, seq, tag, worker, items, x)`` where ``x``
+is the finish time for READ events and the on-read payload for DONE
+events; ``seq`` is unique, so heap comparisons never reach the later
+fields.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+from repro.obs.events import TaskComplete, TaskPop, TaskRead
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import ExecutionEngine
+
+__all__ = [
+    "SchedulerError",
+    "EngineBackend",
+    "EventBackend",
+    "BatchedBackend",
+    "BACKENDS",
+    "register_backend",
+    "backend_for",
+]
+
+_READ = 0
+_DONE = 1
+
+
+class SchedulerError(RuntimeError):
+    """Raised when a run exceeds its task budget (diverging application)."""
+
+
+class EngineBackend(ABC):
+    """One strategy for draining an :class:`ExecutionEngine`'s event heap.
+
+    Backends are stateless — all run state lives on the engine — so one
+    shared instance per registered name serves every engine.
+    """
+
+    #: registry key (``AtosConfig.backend`` value)
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def drain(
+        self,
+        eng: "ExecutionEngine",
+        *,
+        push_to_queue: bool,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Process READ/DONE events until the heap empties; return end time.
+
+        Must honor the engine's pop-stagger, perturb-hook and ``stop_when``
+        semantics exactly as :class:`EventBackend` does — the golden-digest
+        equivalence suite holds every backend to the same event stream.
+        """
+
+
+class EventBackend(EngineBackend):
+    """The reference loop: one ``heappop`` per event.
+
+    This is the pre-registry ``ExecutionEngine.drain_events`` body moved
+    behind the interface, byte-for-byte — the hoisted locals, the inlined
+    single-queue pop and the inlined stagger hash are all load-bearing for
+    both wall-clock and digest identity.
+    """
+
+    name: ClassVar[str] = "event"
+
+    def drain(
+        self,
+        eng: "ExecutionEngine",
+        *,
+        push_to_queue: bool,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        loop = eng.loop
+        # Hot loop: the heap is accessed directly (bypassing EventLoop.pop)
+        # and every per-event attribute chase is hoisted into a local.
+        # ``loop.now`` is kept in step so schedule()'s monotonicity check
+        # still sees the true simulation time.
+        heap = loop._heap
+        end = loop.now
+        stopped = False
+        kernel = eng.kernel
+        on_read = kernel.on_read
+        on_complete = kernel.on_complete
+        work_est = kernel.work_estimate
+        trace = eng.trace
+        tr_times = trace.times.append
+        tr_items = trace.items.append
+        tr_work = trace.work.append
+        sink = eng.sink
+        pending = eng.pending_pushes
+        idle_append = eng.idle.append
+        # mode knobs are stable for the duration of one drain (policies
+        # only call set_mode and new_queue between drains), so the stagger
+        # hash, the cost closure and the single-queue pop all inline
+        perturb = eng.perturb
+        amp = eng.jitter_amp
+        q = eng._singleq
+        if q is not None:
+            qstats = q.stats
+            q_atomic = q.atomic_ns
+        fetch = eng._fetch
+        cost_fn = eng._cost_fn
+        dur_jit = eng._dur_jit
+        read_lead = eng.read_lead_ns
+        max_tasks = eng.max_tasks
+        while heap:
+            t, _, tag, worker, items, x = heappop(heap)
+            loop.now = t
+            if tag == _READ:
+                if sink is not None:
+                    sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                payload = on_read(items, t)
+                # inlined loop.schedule: finish (x) >= t_read == t always
+                s = loop._seq
+                heappush(heap, (x, s, _DONE, worker, items, payload))
+                loop._seq = s + 1
+                continue
+            eng.in_flight -= 1
+            result = on_complete(items, x, t)
+            if t > end:
+                end = t
+            retired = result.items_retired
+            work = result.work_units
+            new_items = result.new_items
+            eng.items_retired += retired
+            eng.work_units += work
+            tr_times(t)  # inlined ThroughputTrace.record
+            tr_items(retired)
+            tr_work(work)
+            if sink is not None:
+                sink.emit(
+                    TaskComplete(
+                        t=t,
+                        worker=worker,
+                        items=int(items.size),
+                        retired=retired,
+                        pushed=int(new_items.size),
+                        work=work,
+                    )
+                )
+            if new_items.size:
+                if push_to_queue:
+                    qpush = eng._qpush
+                    if qpush is not None:
+                        qpush(new_items, t)
+                    else:
+                        eng.queue.push(new_items, t, home=worker)
+                else:
+                    pending.append(new_items)
+            if stop_when is not None and not stopped and stop_when():
+                stopped = True
+            if stopped:
+                idle_append(worker)
+                continue
+            pop_seq = eng.pop_seq
+            if perturb is None:  # inlined pop_stagger fast path
+                if amp <= 0.0:
+                    tpop = t
+                else:
+                    h = (worker * 2654435761 + pop_seq * 40503 + 12345) & 0xFFFF
+                    tpop = t + (h / 65536.0) * amp
+            else:
+                tpop = t + eng.pop_stagger(worker, pop_seq)
+            if q is not None:
+                # inlined try_pop (single queue, no sink): one pop attempt
+                # per completion is the hottest edge in the whole simulator,
+                # so the call chain engine.try_pop -> mpmc.pop collapses
+                # into the loop body.  Mirrors both functions exactly,
+                # stats included, to keep RunResult counters bit-identical.
+                free = q._pop_atomic_free
+                t_start = tpop if tpop > free else free
+                qstats.contention_wait_ns += t_start - tpop
+                t_acq = q._pop_atomic_free = t_start + q_atomic
+                head = q._head
+                n = q._tail - head
+                if n > fetch:
+                    n = fetch
+                if n == 0:
+                    qstats.empty_pops += 1
+                    idle_append(worker)
+                else:
+                    pitems = q._buf[head : head + n].copy()
+                    q._head = head = head + n
+                    qstats.pops += 1
+                    qstats.items_popped += n
+                    if head == q._tail:
+                        q._head = q._tail = 0
+                    pop_seq += 1
+                    eng.pop_seq = pop_seq
+                    total = eng.total_tasks = eng.total_tasks + 1
+                    if sink is not None:
+                        sink.emit(TaskPop(t=t_acq, worker=worker, items=n))
+                    if total > max_tasks:
+                        raise SchedulerError(
+                            f"run exceeded max_tasks={max_tasks}; "
+                            "the application appears not to converge"
+                        )
+                    edge_work, max_degree = work_est(pitems)
+                    h = (worker * 2654435761 + (pop_seq + 7919) * 40503 + 12345) & 0xFFFF
+                    finish = cost_fn(
+                        t_acq, n, edge_work, max_degree, 1.0 + dur_jit * (h / 65536.0)
+                    )
+                    t_read = finish - read_lead
+                    if t_read < t_acq:
+                        t_read = t_acq
+                    s = loop._seq
+                    heappush(heap, (t_read, s, _READ, worker, pitems, finish))
+                    loop._seq = s + 1
+                    eng.in_flight += 1
+            else:
+                eng.try_pop(worker, tpop)
+            if eng.idle:  # inlined wake_idle guard: skip the call when nobody is parked
+                eng.wake_idle(t)
+        assert eng.in_flight == 0, "event loop drained with tasks in flight"
+        return end
+
+
+class BatchedBackend(EngineBackend):
+    """Read-window batching: process each window of READs back to back.
+
+    **Window rule.**  In the reference loop, a READ event ``r_j`` at time
+    ``t_j`` is processed before the DONE of an earlier READ ``r_i``
+    (scheduled for ``x_i``) iff ``(t_j, seq_j) < (x_i, seq_done_i)`` in
+    heap order.  ``seq_j < seq_done_i`` always holds — ``r_j`` was in the
+    heap before ``DONE_i`` was created — so the condition reduces to
+    ``t_j <= min(x_i)`` over the READs already in the window.  Any prefix
+    of READ heap-tops satisfying it can therefore be processed back to
+    back with no observable difference: the TaskRead emissions, the
+    ``on_read`` calls and the DONE sequence numbers all land in exactly
+    the order the reference loop produces.
+
+    **Batch pass.**  The prefix is extracted by ``heappop`` (the heap is
+    already consumed in ``(t, seq)`` order, so a pre-existing DONE at the
+    top or a READ past the running min-finish simply terminates the
+    window — never an O(heap) sort, so singleton windows cost what the
+    event loop costs).  The window body then runs with the per-event
+    dispatch hoisted out: one ``loop.now`` store per window instead of
+    per event on the sink-less hot path, and when the window drained the
+    whole heap (a discrete wave), its DONE events are rebuilt in one
+    C-level ``heapify`` instead of one sift per push.
+
+    DONE events are processed exactly as in :class:`EventBackend`,
+    including the inlined single-queue pop — completions mutate the cost
+    model's bandwidth server sequentially, so there is nothing to batch
+    without changing float summation order.
+    """
+
+    name: ClassVar[str] = "batched"
+
+    def drain(
+        self,
+        eng: "ExecutionEngine",
+        *,
+        push_to_queue: bool,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        loop = eng.loop
+        heap = loop._heap
+        end = loop.now
+        stopped = False
+        kernel = eng.kernel
+        on_read = kernel.on_read
+        on_complete = kernel.on_complete
+        work_est = kernel.work_estimate
+        trace = eng.trace
+        tr_times = trace.times.append
+        tr_items = trace.items.append
+        tr_work = trace.work.append
+        sink = eng.sink
+        pending = eng.pending_pushes
+        idle_append = eng.idle.append
+        perturb = eng.perturb
+        amp = eng.jitter_amp
+        q = eng._singleq
+        if q is not None:
+            qstats = q.stats
+            q_atomic = q.atomic_ns
+        fetch = eng._fetch
+        cost_fn = eng._cost_fn
+        dur_jit = eng._dur_jit
+        read_lead = eng.read_lead_ns
+        max_tasks = eng.max_tasks
+        while heap:
+            if heap[0][2] == _READ:
+                # -- read-window batching -------------------------------
+                # heappop the longest READ prefix whose times stay within
+                # the running min-finish window; a DONE at the top or a
+                # READ past the window terminates it.
+                ev = heappop(heap)
+                min_finish = ev[5]
+                if not heap or heap[0][2] != _READ or heap[0][0] > min_finish:
+                    # singleton window (persistent-mode staggered pops):
+                    # skip the batch machinery — this path must cost what
+                    # the event loop costs
+                    t, _, _, worker, items, _ = ev
+                    loop.now = t
+                    if sink is not None:
+                        sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                    payload = on_read(items, t)
+                    s = loop._seq
+                    heappush(heap, (min_finish, s, _DONE, worker, items, payload))
+                    loop._seq = s + 1
+                    continue
+                batch = [ev]
+                bapp = batch.append
+                while heap:
+                    nxt = heap[0]
+                    if nxt[2] != _READ or nxt[0] > min_finish:
+                        break
+                    bapp(heappop(heap))
+                    f = nxt[5]
+                    if f < min_finish:
+                        min_finish = f
+                s = loop._seq
+                if sink is not None:
+                    for t, _, _, worker, items, finish in batch:
+                        loop.now = t
+                        sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                        payload = on_read(items, t)
+                        heappush(heap, (finish, s, _DONE, worker, items, payload))
+                        s += 1
+                else:
+                    # intermediate loop.now stores are unobservable without
+                    # a sink (nothing reads the clock inside the window),
+                    # so one store per window suffices
+                    loop.now = batch[-1][0]
+                    if len(batch) > len(heap):
+                        # the window dominates what's left (a discrete
+                        # wave): build every DONE, then restore the heap
+                        # property in one C pass instead of a sift per push
+                        heap.extend(
+                            (finish, s + i, _DONE, worker, items, on_read(items, t))
+                            for i, (t, _, _, worker, items, finish) in enumerate(batch)
+                        )
+                        heapify(heap)
+                        s += len(batch)
+                    else:
+                        for t, _, _, worker, items, finish in batch:
+                            heappush(
+                                heap,
+                                (finish, s, _DONE, worker, items, on_read(items, t)),
+                            )
+                            s += 1
+                loop._seq = s
+                continue
+            # -- DONE processing: identical to the event backend --------
+            t, _, tag, worker, items, x = heappop(heap)
+            loop.now = t
+            eng.in_flight -= 1
+            result = on_complete(items, x, t)
+            if t > end:
+                end = t
+            retired = result.items_retired
+            work = result.work_units
+            new_items = result.new_items
+            eng.items_retired += retired
+            eng.work_units += work
+            tr_times(t)
+            tr_items(retired)
+            tr_work(work)
+            if sink is not None:
+                sink.emit(
+                    TaskComplete(
+                        t=t,
+                        worker=worker,
+                        items=int(items.size),
+                        retired=retired,
+                        pushed=int(new_items.size),
+                        work=work,
+                    )
+                )
+            if new_items.size:
+                if push_to_queue:
+                    qpush = eng._qpush
+                    if qpush is not None:
+                        qpush(new_items, t)
+                    else:
+                        eng.queue.push(new_items, t, home=worker)
+                else:
+                    pending.append(new_items)
+            if stop_when is not None and not stopped and stop_when():
+                stopped = True
+            if stopped:
+                idle_append(worker)
+                continue
+            pop_seq = eng.pop_seq
+            if perturb is None:
+                if amp <= 0.0:
+                    tpop = t
+                else:
+                    h = (worker * 2654435761 + pop_seq * 40503 + 12345) & 0xFFFF
+                    tpop = t + (h / 65536.0) * amp
+            else:
+                tpop = t + eng.pop_stagger(worker, pop_seq)
+            if q is not None:
+                free = q._pop_atomic_free
+                t_start = tpop if tpop > free else free
+                qstats.contention_wait_ns += t_start - tpop
+                t_acq = q._pop_atomic_free = t_start + q_atomic
+                head = q._head
+                n = q._tail - head
+                if n > fetch:
+                    n = fetch
+                if n == 0:
+                    qstats.empty_pops += 1
+                    idle_append(worker)
+                else:
+                    pitems = q._buf[head : head + n].copy()
+                    q._head = head = head + n
+                    qstats.pops += 1
+                    qstats.items_popped += n
+                    if head == q._tail:
+                        q._head = q._tail = 0
+                    pop_seq += 1
+                    eng.pop_seq = pop_seq
+                    total = eng.total_tasks = eng.total_tasks + 1
+                    if sink is not None:
+                        sink.emit(TaskPop(t=t_acq, worker=worker, items=n))
+                    if total > max_tasks:
+                        raise SchedulerError(
+                            f"run exceeded max_tasks={max_tasks}; "
+                            "the application appears not to converge"
+                        )
+                    edge_work, max_degree = work_est(pitems)
+                    h = (worker * 2654435761 + (pop_seq + 7919) * 40503 + 12345) & 0xFFFF
+                    finish = cost_fn(
+                        t_acq, n, edge_work, max_degree, 1.0 + dur_jit * (h / 65536.0)
+                    )
+                    t_read = finish - read_lead
+                    if t_read < t_acq:
+                        t_read = t_acq
+                    s = loop._seq
+                    heappush(heap, (t_read, s, _READ, worker, pitems, finish))
+                    loop._seq = s + 1
+                    eng.in_flight += 1
+            else:
+                eng.try_pop(worker, tpop)
+            if eng.idle:
+                eng.wake_idle(t)
+        assert eng.in_flight == 0, "event loop drained with tasks in flight"
+        return end
+
+
+# ---------------------------------------------------------------------------
+# Registry (mirrors repro.core.policy.POLICIES)
+# ---------------------------------------------------------------------------
+
+BACKENDS: dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend) -> EngineBackend:
+    """Register a backend instance under its ``name`` (latest wins)."""
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+register_backend(EventBackend())
+register_backend(BatchedBackend())
+
+
+def backend_for(name: str) -> EngineBackend:
+    """Resolve a backend by registry name."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from None

@@ -31,19 +31,15 @@ the pre-refactor ``_Engine`` for the persistent and discrete policies;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heappush
 from typing import Callable
 
 import numpy as np
 
+from repro.core.backend import _READ, SchedulerError, backend_for
 from repro.core.config import AtosConfig
 from repro.core.kernel import TaskKernel
-from repro.obs.events import (
-    EventSink,
-    TaskComplete,
-    TaskPop,
-    TaskRead,
-)
+from repro.obs.events import EventSink, TaskPop
 from repro.queueing.broker import QueueBroker
 from repro.queueing.protocol import Worklist
 from repro.queueing.stealing import StealingWorklist
@@ -54,14 +50,10 @@ from repro.sim.occupancy import occupancy_for
 from repro.sim.spec import GpuSpec
 from repro.sim.trace import ThroughputTrace
 
+# SchedulerError moved to repro.core.backend with the drain loops; it is
+# re-exported here because policies and applications catch it from this
+# module's public surface.
 __all__ = ["RunResult", "SchedulerError", "ExecutionEngine"]
-
-_READ = 0
-_DONE = 1
-
-
-class SchedulerError(RuntimeError):
-    """Raised when a run exceeds its task budget (diverging application)."""
 
 
 @dataclass
@@ -88,11 +80,15 @@ class RunResult:
     steals: int = 0
     failed_steals: int = 0
     #: item-level conservation counters (pushes/pops above count *operations*;
-    #: these count *items*, so ``queue_items_pushed >= items_retired`` must
-    #: hold for any run — every retired item was pushed exactly once, while
-    #: items can be pushed and then drained at a policy switch or left behind)
+    #: these count *distinct items*, so ``queue_items_pushed >= items_retired``
+    #: must hold for any run — every retired item was pushed exactly once,
+    #: while items can be pushed and then drained at a policy switch or left
+    #: behind.  Stolen surplus a thief re-pushes ("banks") into its own deque
+    #: is subtracted from both counters — the raw queue totals count those
+    #: items twice — and surfaced separately as ``queue_items_banked``.
     queue_items_pushed: int = 0
     queue_items_popped: int = 0
+    queue_items_banked: int = 0
     #: hybrid strategy: number of discrete↔persistent crossovers
     policy_switches: int = 0
     trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
@@ -179,6 +175,7 @@ class ExecutionEngine:
         self.q_failed_steals = 0
         self.q_items_pushed = 0
         self.q_items_popped = 0
+        self.q_banked_items = 0
         # hot-path specialisations (repro.perf): the per-task cost closure
         # binds every spec/config-derived constant once; the fetch size and
         # duration-jitter amplitude are hoisted out of try_pop.  All of it
@@ -197,6 +194,10 @@ class ExecutionEngine:
         self._qpop = None
         self._qpush = None
         self._singleq = None
+        # the inner event loop (repro.core.backend): "event" pops the heap
+        # one event at a time, "batched" buckets read-windows.  Resolved
+        # once — the registry lookup must not sit on the drain path.
+        self._backend = backend_for(config.backend)
 
     # ------------------------------------------------------------------
     def set_mode(self, *, persistent: bool) -> None:
@@ -228,6 +229,7 @@ class ExecutionEngine:
         self.q_failed_steals += s.failed_steals
         self.q_items_pushed += s.items_pushed
         self.q_items_popped += s.items_popped
+        self.q_banked_items += s.banked_items
 
     def new_queue(self, name: str) -> Worklist:
         self.absorb_queue_stats()  # retire the previous generation's queue
@@ -373,150 +375,15 @@ class ExecutionEngine:
         from issuing *new* pops once true; in-flight tasks still retire,
         so the loop drains to a consistent stop.  Used by the hybrid
         policy to interrupt a persistent phase at its high watermark.
+
+        The inner loop itself lives in :mod:`repro.core.backend` — this
+        method dispatches to the backend the configuration selected
+        (``"event"`` by default); every registered backend produces the
+        same event stream bit-for-bit.
         """
-        loop = self.loop
-        # Hot loop: the heap is accessed directly (bypassing EventLoop.pop)
-        # and every per-event attribute chase is hoisted into a local.
-        # ``loop.now`` is kept in step so schedule()'s monotonicity check
-        # still sees the true simulation time.
-        heap = loop._heap
-        end = loop.now
-        stopped = False
-        kernel = self.kernel
-        on_read = kernel.on_read
-        on_complete = kernel.on_complete
-        work_est = kernel.work_estimate
-        trace = self.trace
-        tr_times = trace.times.append
-        tr_items = trace.items.append
-        tr_work = trace.work.append
-        sink = self.sink
-        pending = self.pending_pushes
-        idle_append = self.idle.append
-        # mode knobs are stable for the duration of one drain (policies
-        # only call set_mode and new_queue between drains), so the stagger
-        # hash, the cost closure and the single-queue pop all inline
-        perturb = self.perturb
-        amp = self.jitter_amp
-        q = self._singleq
-        if q is not None:
-            qstats = q.stats
-            q_atomic = q.atomic_ns
-        fetch = self._fetch
-        cost_fn = self._cost_fn
-        dur_jit = self._dur_jit
-        read_lead = self.read_lead_ns
-        max_tasks = self.max_tasks
-        while heap:
-            t, _, tag, worker, items, x = heappop(heap)
-            loop.now = t
-            if tag == _READ:
-                if sink is not None:
-                    sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
-                payload = on_read(items, t)
-                # inlined loop.schedule: finish (x) >= t_read == t always
-                s = loop._seq
-                heappush(heap, (x, s, _DONE, worker, items, payload))
-                loop._seq = s + 1
-                continue
-            self.in_flight -= 1
-            result = on_complete(items, x, t)
-            if t > end:
-                end = t
-            retired = result.items_retired
-            work = result.work_units
-            new_items = result.new_items
-            self.items_retired += retired
-            self.work_units += work
-            tr_times(t)  # inlined ThroughputTrace.record
-            tr_items(retired)
-            tr_work(work)
-            if sink is not None:
-                sink.emit(
-                    TaskComplete(
-                        t=t,
-                        worker=worker,
-                        items=int(items.size),
-                        retired=retired,
-                        pushed=int(new_items.size),
-                        work=work,
-                    )
-                )
-            if new_items.size:
-                if push_to_queue:
-                    qpush = self._qpush
-                    if qpush is not None:
-                        qpush(new_items, t)
-                    else:
-                        self.queue.push(new_items, t, home=worker)
-                else:
-                    pending.append(new_items)
-            if stop_when is not None and not stopped and stop_when():
-                stopped = True
-            if stopped:
-                idle_append(worker)
-                continue
-            pop_seq = self.pop_seq
-            if perturb is None:  # inlined pop_stagger fast path
-                if amp <= 0.0:
-                    tpop = t
-                else:
-                    h = (worker * 2654435761 + pop_seq * 40503 + 12345) & 0xFFFF
-                    tpop = t + (h / 65536.0) * amp
-            else:
-                tpop = t + self.pop_stagger(worker, pop_seq)
-            if q is not None:
-                # inlined try_pop (single queue, no sink): one pop attempt
-                # per completion is the hottest edge in the whole simulator,
-                # so the call chain engine.try_pop -> mpmc.pop collapses
-                # into the loop body.  Mirrors both functions exactly,
-                # stats included, to keep RunResult counters bit-identical.
-                free = q._pop_atomic_free
-                t_start = tpop if tpop > free else free
-                qstats.contention_wait_ns += t_start - tpop
-                t_acq = q._pop_atomic_free = t_start + q_atomic
-                head = q._head
-                n = q._tail - head
-                if n > fetch:
-                    n = fetch
-                if n == 0:
-                    qstats.empty_pops += 1
-                    idle_append(worker)
-                else:
-                    pitems = q._buf[head : head + n].copy()
-                    q._head = head = head + n
-                    qstats.pops += 1
-                    qstats.items_popped += n
-                    if head == q._tail:
-                        q._head = q._tail = 0
-                    pop_seq += 1
-                    self.pop_seq = pop_seq
-                    total = self.total_tasks = self.total_tasks + 1
-                    if sink is not None:
-                        sink.emit(TaskPop(t=t_acq, worker=worker, items=n))
-                    if total > max_tasks:
-                        raise SchedulerError(
-                            f"run exceeded max_tasks={max_tasks}; "
-                            "the application appears not to converge"
-                        )
-                    edge_work, max_degree = work_est(pitems)
-                    h = (worker * 2654435761 + (pop_seq + 7919) * 40503 + 12345) & 0xFFFF
-                    finish = cost_fn(
-                        t_acq, n, edge_work, max_degree, 1.0 + dur_jit * (h / 65536.0)
-                    )
-                    t_read = finish - read_lead
-                    if t_read < t_acq:
-                        t_read = t_acq
-                    s = loop._seq
-                    heappush(heap, (t_read, s, _READ, worker, pitems, finish))
-                    loop._seq = s + 1
-                    self.in_flight += 1
-            else:
-                self.try_pop(worker, tpop)
-            if self.idle:  # inlined wake_idle guard: skip the call when nobody is parked
-                self.wake_idle(t)
-        assert self.in_flight == 0, "event loop drained with tasks in flight"
-        return end
+        return self._backend.drain(
+            self, push_to_queue=push_to_queue, stop_when=stop_when
+        )
 
     # ------------------------------------------------------------------
     def build_result(
@@ -549,8 +416,13 @@ class ExecutionEngine:
             queue_pops=self.q_pops,
             steals=self.q_steals,
             failed_steals=self.q_failed_steals,
-            queue_items_pushed=self.q_items_pushed,
-            queue_items_popped=self.q_items_popped,
+            # distinct-item totals: a banked re-push counted the stolen
+            # surplus a second time in both raw totals (once at the victim's
+            # pop, once at the thief's push), so subtract it from both sides
+            # of the conservation equation
+            queue_items_pushed=self.q_items_pushed - self.q_banked_items,
+            queue_items_popped=self.q_items_popped - self.q_banked_items,
+            queue_items_banked=self.q_banked_items,
             policy_switches=policy_switches,
             trace=self.trace,
             config_name=self.config.name,

@@ -54,6 +54,10 @@ class Lab:
     #: stream telemetry on every engine-level run (repro.metrics): the
     #: MetricsSummary document lands in ``result.extra["metrics"]``
     metrics: bool = False
+    #: engine inner-loop override (repro.core.backend); None keeps each
+    #: configuration's own ``backend`` field.  Purely a wall-clock knob —
+    #: results are bit-identical across backends
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         self._graphs: dict[str, Csr] = {}
@@ -94,6 +98,7 @@ class Lab:
             max_tasks=self.max_tasks,
             validate=self.validate,
             metrics=self.metrics and CONFIGS[impl].strategy is not KernelStrategy.BSP,
+            backend=self.backend,
         )
         self._stamp_metrics(result)
         self._results[cache_key] = result
@@ -167,6 +172,7 @@ class Lab:
             spec=self.spec,
             max_tasks=self.max_tasks,
             validate=self.validate,
+            backend=self.backend,
             workers=workers,
         )
         for cell, res in zip(cells, results):
@@ -206,6 +212,7 @@ class Lab:
                 if metrics is None
                 else metrics
             ),
+            backend=self.backend,
         )
         self._stamp_metrics(result)
         return result

@@ -316,6 +316,14 @@ def _diff_bench(base, new, *, thresholds, default_threshold, base_label, new_lab
             f"bench sizes differ: {base.get('size')!r} vs {new.get('size')!r}"
         )
         return report
+    # differing engine backends are a legitimate A/B comparison (simulated
+    # results are bit-identical across backends; only wall-clock moves), so
+    # tag the labels instead of refusing
+    backend_a = base.get("backend", "event")
+    backend_b = new.get("backend", "event")
+    if backend_a != backend_b:
+        report.base_label = f"{base_label} [{backend_a}]"
+        report.new_label = f"{new_label} [{backend_b}]"
     merged = dict(DEFAULT_THRESHOLDS)
     if thresholds:
         merged.update(thresholds)

@@ -118,15 +118,25 @@ class StrideSeries:
 
         Rates are raw per-bin counts (divide by ``stride_ns`` for a true
         rate); gauge bins with no observation repeat the previous value
-        (step-function semantics), starting from 0.0.
+        (step-function semantics).  Leading unobserved bins carry the
+        *first* observed value back: a gauge is a step function whose
+        level is unknown before its first observation, and the first
+        observation is a strictly better estimate of that opening level
+        than an invented 0.0 (a queue-depth series first observed at
+        depth 7 did not start the run empty).
         """
         if self.hi < 0:
             return []
         if self.kind == "rate":
             return [float(v) for v in self.bins[: self.hi + 1]]
-        out: list[float] = []
+        window = self.bins[: self.hi + 1]
         last = 0.0
-        for v in self.bins[: self.hi + 1]:
+        for v in window:
+            if v is not _UNSEEN:
+                last = float(v)
+                break
+        out: list[float] = []
+        for v in window:
             if v is not _UNSEEN:
                 last = float(v)
             out.append(last)

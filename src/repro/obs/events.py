@@ -175,11 +175,18 @@ class EmptyPop(TraceEvent):
 
 @dataclass(frozen=True, slots=True)
 class QueueSteal(TraceEvent):
-    """A successful steal: ``items`` moved from deque ``victim`` to ``thief``."""
+    """A successful steal: ``items`` moved from deque ``victim`` to ``thief``.
+
+    ``banked`` of those items are immediately re-pushed into the thief's
+    own deque (stolen surplus beyond the pop's ``max_items``); they show up
+    a second time in the push/pop item totals, so item-conservation checks
+    subtract them.
+    """
 
     thief: int
     victim: int
     items: int
+    banked: int = 0
 
 
 # ---------------------------------------------------------------------------

@@ -105,12 +105,19 @@ def run_bench(
     workers: int | None = None,
     pre_wall_s: float | None = None,
     metrics: bool = False,
+    backend: str | None = None,
 ) -> dict:
     """Run the benchmark scenario and return the report document.
 
     ``pre_wall_s`` optionally records the wall time of the identical
     scenario measured on the pre-optimization engine (same machine, same
     session), from which the headline ``speedup_vs_pre`` is derived.
+
+    ``backend`` selects the engine inner loop (:mod:`repro.core.backend`)
+    for every cell; ``None`` keeps each preset's own default.  Simulated
+    results are bit-identical across backends, so two reports differing
+    only in ``backend`` measure pure scheduler overhead (the A/B
+    ``benchmarks/bench_wallclock.py`` prints).
 
     ``metrics=True`` re-runs the :data:`METRICS_CELLS` subset *outside*
     the timed region with a streaming
@@ -135,7 +142,9 @@ def run_bench(
     sim_ns_total = 0.0
     for rep in range(repeats):
         t0 = time.perf_counter()
-        results = run_cells(cells, size=size, workers=workers, generation=rep)
+        results = run_cells(
+            cells, size=size, backend=backend, workers=workers, generation=rep
+        )
         t1 = time.perf_counter()
         walls.append(t1 - t0)
         if rep == 0:
@@ -150,6 +159,7 @@ def run_bench(
     doc = {
         "schema": BENCH_SCHEMA,
         "size": size,
+        "backend": backend or "event",
         "repeats": repeats,
         "workers": workers or 1,
         "cells": len(cells),
@@ -269,7 +279,8 @@ def validate_report(doc: dict) -> list[str]:
 def format_report(doc: dict) -> str:
     """Human-readable summary of a report document."""
     lines = [
-        f"repro.perf bench  size={doc['size']}  cells={doc['cells']}  "
+        f"repro.perf bench  size={doc['size']}  "
+        f"backend={doc.get('backend', 'event')}  cells={doc['cells']}  "
         f"repeats={doc['repeats']}  workers={doc.get('workers', 1)}",
         f"  wall            {doc['wall_s']:.3f} s  (all: "
         + ", ".join(f"{w:.3f}" for w in doc["wall_s_all"])

@@ -69,19 +69,35 @@ _WORKER_LAB = None
 _WORKER_KEY = None
 
 
-def _worker_lab(size: str, spec: GpuSpec, max_tasks: int, validate: bool, generation: int):
+def _worker_lab(
+    size: str,
+    spec: GpuSpec,
+    max_tasks: int,
+    validate: bool,
+    backend: str | None,
+    generation: int,
+):
     global _WORKER_LAB, _WORKER_KEY
-    key = (size, spec, max_tasks, validate, generation)
+    key = (size, spec, max_tasks, validate, backend, generation)
     if _WORKER_KEY != key:
         from repro.harness.runner import Lab
 
-        _WORKER_LAB = Lab(size=size, spec=spec, max_tasks=max_tasks, validate=validate)
+        _WORKER_LAB = Lab(
+            size=size, spec=spec, max_tasks=max_tasks, validate=validate, backend=backend
+        )
         _WORKER_KEY = key
     return _WORKER_LAB
 
 
 def _run_cell(
-    cell: SweepCell, size: str, spec: GpuSpec, max_tasks: int, validate: bool, generation: int
+    cell: SweepCell,
+    size: str,
+    spec: GpuSpec,
+    max_tasks: int,
+    validate: bool,
+    backend: str | None,
+    generation: int,
+    lab=None,
 ):
     if cell.app == "__kill_worker__":
         # test hook (tests/test_perf.py): simulate a worker process dying
@@ -93,7 +109,8 @@ def _run_cell(
 
         if multiprocessing.parent_process() is not None:
             os._exit(1)
-    lab = _worker_lab(size, spec, max_tasks, validate, generation)
+    if lab is None:
+        lab = _worker_lab(size, spec, max_tasks, validate, backend, generation)
     return lab.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
 
 
@@ -109,6 +126,7 @@ def run_cells(
     spec: GpuSpec = V100_SPEC,
     max_tasks: int = 20_000_000,
     validate: bool = False,
+    backend: str | None = None,
     workers: int | None = None,
     generation: int = 0,
 ) -> list[AppResult | CellError]:
@@ -123,17 +141,33 @@ def run_cells(
     """
     cell_list: Sequence[SweepCell] = list(cells)
     if not workers or workers <= 1:
+        # A local Lab, not the module-level `_WORKER_LAB` cache: that cache
+        # is warm state for *pool worker* processes, and running serially in
+        # the caller's process must not install state that outlives this
+        # call (a leaked warm Lab would replay memoised results across
+        # serial sweeps and tests).  Within the call, Lab.run still memoises
+        # duplicate cells.
+        from repro.harness.runner import Lab
+
+        local_lab = Lab(
+            size=size, spec=spec, max_tasks=max_tasks, validate=validate, backend=backend
+        )
         out: list[AppResult | CellError] = []
         for cell in cell_list:
             try:
-                out.append(_run_cell(cell, size, spec, max_tasks, validate, generation))
+                out.append(
+                    _run_cell(
+                        cell, size, spec, max_tasks, validate, backend, generation,
+                        lab=local_lab,
+                    )
+                )
             except Exception as exc:
                 out.append(_error(cell, exc))
         return out
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_run_cell, cell, size, spec, max_tasks, validate, generation)
+            pool.submit(_run_cell, cell, size, spec, max_tasks, validate, backend, generation)
             for cell in cell_list
         ]
         out = []

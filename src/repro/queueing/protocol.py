@@ -48,6 +48,12 @@ class WorklistStats:
     max_size: int = 0
     steals: int = 0
     failed_steals: int = 0
+    #: items re-pushed into the thief's own deque as stolen surplus.  These
+    #: are counted a second time in ``items_pushed`` (the banking push is a
+    #: real queue operation) and their steal-pop a second time in
+    #: ``items_popped``, so *distinct* item totals are
+    #: ``items_pushed - banked_items`` / ``items_popped - banked_items``.
+    banked_items: int = 0
 
 
 @runtime_checkable

@@ -55,6 +55,7 @@ class StealingWorklist:
         self.steal_probe_ns = float(steal_probe_ns)
         self.steals = 0
         self.failed_steals = 0
+        self.banked_items = 0
         self._probe_seq = seed
         self.sink = sink
 
@@ -79,12 +80,28 @@ class StealingWorklist:
         return self.deques[home % self.num_queues].push(items, now)
 
     def _victim_order(self, home: int) -> list[int]:
-        """Deterministic pseudo-random probe order (excludes home)."""
+        """Seeded deterministic permutation of the victims (excludes home).
+
+        A Fisher-Yates shuffle driven by the worklist's LCG, so every
+        ordering of the victims is reachable.  (An earlier version only
+        rotated the fixed ring ``home+1, home+2, ...`` from a random start,
+        which always probed ``start+1`` before ``start+2`` — a selection
+        bias the Cederman & Tsigas model doesn't have.)  One shared LCG,
+        not per-home state, keeps the sequence reproducible across
+        interleaved thieves; a single-victim worklist has only one
+        ordering, so it draws nothing.
+        """
         n = self.num_queues
-        self._probe_seq = (self._probe_seq * 1103515245 + 12345) & 0x7FFFFFFF
-        start = self._probe_seq % n
-        order = [(start + k) % n for k in range(n)]
-        return [v for v in order if v != home % n]
+        order = [v for v in range(n) if v != home % n]
+        seq = self._probe_seq
+        for i in range(len(order) - 1, 0, -1):
+            seq = (seq * 1103515245 + 12345) & 0x7FFFFFFF
+            # draw from the high bits: the glibc-style LCG's low bits have
+            # tiny periods modulo small i (the multiplier is divisible by 3)
+            j = (seq >> 16) % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        self._probe_seq = seq
+        return order
 
     def pop(self, max_items: int, now: float = 0.0, *, home: int = 0) -> tuple[np.ndarray, float]:
         """Pop from the home deque; on empty, probe victims and steal half."""
@@ -107,6 +124,7 @@ class StealingWorklist:
                 self.failed_steals += 1
                 continue
             self.steals += 1
+            banked = int(loot.size) - max_items if loot.size > max_items else 0
             if self.sink is not None:
                 self.sink.emit(
                     QueueSteal(
@@ -114,6 +132,7 @@ class StealingWorklist:
                         thief=home % self.num_queues,
                         victim=victim_idx,
                         items=int(loot.size),
+                        banked=banked,
                     )
                 )
             # keep what we can process now; bank the rest in our own deque.
@@ -121,8 +140,11 @@ class StealingWorklist:
             # any other push, so its completion time is charged to the
             # steal (a previous version dropped it, making banked surplus
             # free in simulated time and flattering stealing in the
-            # bench_ablations comparison).
-            if loot.size > max_items:
+            # bench_ablations comparison).  Banked items hit the push/pop
+            # item counters a second time; ``banked_items`` records how
+            # many, so distinct-item accounting can subtract them.
+            if banked:
+                self.banked_items += banked
                 t = own.push(loot[max_items:], t)
                 loot = loot[:max_items]
             return loot, t
@@ -138,7 +160,11 @@ class StealingWorklist:
 
     def stats(self) -> WorklistStats:
         """Aggregate deque counters plus steal outcomes (``Worklist`` protocol)."""
-        agg = WorklistStats(steals=self.steals, failed_steals=self.failed_steals)
+        agg = WorklistStats(
+            steals=self.steals,
+            failed_steals=self.failed_steals,
+            banked_items=self.banked_items,
+        )
         for d in self.deques:
             s = d.stats
             agg.pushes += s.pushes

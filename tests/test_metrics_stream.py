@@ -185,6 +185,31 @@ class TestStrideSeries:
         assert s.stride_ns == 2.0
         assert s.values()[0] == 9.0  # bins 0+1 folded, later value kept
 
+    def test_gauge_first_observation_past_bin_zero_carries_back(self):
+        """Regression: leading unobserved gauge bins used to export 0.0.
+
+        A gauge first observed at depth 7 in bin 3 did not hold depth 0
+        for bins 0-2 — the exporter was inventing an opening state.  The
+        first observed value is carried back over the unobserved prefix.
+        """
+        s = StrideSeries("gauge", stride_ns=10.0, max_bins=8)
+        s.observe(35.0, 7.0)  # first observation lands in bin 3
+        assert s.values() == [7.0, 7.0, 7.0, 7.0]
+        s.observe(45.0, 2.0)
+        assert s.values() == [7.0, 7.0, 7.0, 7.0, 2.0]
+        assert s.to_dict()["peak"] == 7.0
+
+    def test_gauge_prefix_carry_back_survives_rescale_fold(self):
+        """The carried-back prefix must hold after a rescale folds the
+        unobserved leading bins into each other."""
+        s = StrideSeries("gauge", stride_ns=1.0, max_bins=4)
+        s.observe(2.0, 5.0)  # bins 0-1 unobserved
+        s.observe(7.0, 3.0)  # forces one rescale to stride 2
+        assert s.stride_ns == 2.0
+        # post-fold bins: [unseen, 5.0, unseen, 3.0] -> first value carried
+        # back over bin 0, forward over bin 2
+        assert s.values() == [5.0, 5.0, 5.0, 3.0]
+
     def test_kind_mismatch_raises(self):
         with pytest.raises(TypeError):
             StrideSeries("gauge").add(0.0)
@@ -450,3 +475,87 @@ class TestExporters:
         assert "bfs" in text
         assert "task latency" in text
         assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+def _sparse_multi_octave_summary() -> dict:
+    """A fabricated summary whose histograms span several octaves with
+    holes between occupied buckets — the case where per-bucket cumulative
+    sums and ``le`` bound computation are easiest to get wrong."""
+    h = LogHistogram(subbuckets=4)
+    for v in (0.0, 0.0, 0.5, 1.5, 1.5, 17.0, 300.0, 1.0e9 + 0.5, 6.0e12):
+        h.record(v)
+    hdoc = h.to_dict()
+    assert len(hdoc["buckets"]) >= 5  # sparse: several distinct buckets
+    occupied_octaves = {int(k) // 4 for k in hdoc["buckets"]}
+    assert len(occupied_octaves) >= 4  # ... spread over many octaves
+    empty_series = {
+        "kind": "rate", "stride_ns": 1024.0, "max_bins": 256,
+        "rescales": 0, "values": [], "peak": 0.0,
+    }
+    return {
+        "app": "fab", "dataset": "synthetic", "config": "none", "size": "tiny",
+        "elapsed_ns": 1.0, "events_seen": 9,
+        "counters": {name: 0 for name in COUNTER_NAMES},
+        "histograms": {name: hdoc for name in HISTOGRAM_NAMES},
+        "series": {name: dict(empty_series) for name in SERIES_NAMES},
+    }
+
+
+class TestPrometheusHistogramLint:
+    """Exposition-format contract for the cumulative-``le`` histograms."""
+
+    def _bucket_lines(self, text: str, base: str) -> list[tuple[str, float]]:
+        out = []
+        for line in text.splitlines():
+            if line.startswith(f"{base}_bucket"):
+                after = line.split('le="', 1)[1]
+                le_label = after[: after.index('"')]
+                out.append((le_label, float(line.rsplit(" ", 1)[1])))
+        return out
+
+    def test_cumulative_buckets_monotone_and_end_at_count(self):
+        doc = _sparse_multi_octave_summary()
+        text = to_prometheus(doc)
+        for hname in HISTOGRAM_NAMES:
+            buckets = self._bucket_lines(text, f"repro_{hname}")
+            assert len(buckets) >= 2
+            counts = [c for _, c in buckets]
+            assert counts == sorted(counts), f"{hname}: cumulative decreased"
+            assert buckets[-1][0] == "+Inf"
+            assert counts[-1] == doc["histograms"][hname]["count"]
+            # zero-bucket observations are part of every cumulative value
+            assert counts[0] >= doc["histograms"][hname]["zero"]
+
+    def test_le_bounds_strictly_increasing(self):
+        text = to_prometheus(_sparse_multi_octave_summary())
+        for hname in HISTOGRAM_NAMES:
+            bounds = [
+                float(le) for le, _ in self._bucket_lines(text, f"repro_{hname}")
+                if le != "+Inf"
+            ]
+            assert all(a < b for a, b in zip(bounds, bounds[1:])), (
+                f"{hname}: le bounds not strictly increasing: {bounds}"
+            )
+
+    def test_le_labels_round_trip_large_floats(self):
+        """The ``le`` label is the repr of the bound, so parsing it back
+        must reproduce the exact float — including multi-terascale bounds
+        where fixed-precision formatting would lose bits."""
+        doc = _sparse_multi_octave_summary()
+        h = doc["histograms"][HISTOGRAM_NAMES[0]]
+        subbuckets, min_value = h["subbuckets"], h["min_value"]
+        exact = set()
+        for idx in (int(k) for k in h["buckets"]):
+            octave, sub = divmod(idx, subbuckets)
+            exact.add(min_value * 2.0**octave * (1.0 + (sub + 1) / subbuckets))
+        assert max(exact) > 1e12  # the large-float case is actually exercised
+        text = to_prometheus(doc)
+        labels = [
+            le for le, _ in self._bucket_lines(text, f"repro_{HISTOGRAM_NAMES[0]}")
+            if le != "+Inf"
+        ]
+        assert len(labels) == len(exact)
+        for le_label in labels:
+            parsed = float(le_label)
+            assert parsed in exact, f"le={le_label!r} lost precision"
+            assert repr(parsed) == le_label

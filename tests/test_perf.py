@@ -308,6 +308,25 @@ def test_run_cells_serial_matches_workers_zero_and_one():
         assert isinstance(out[0], AppResult)
 
 
+def test_serial_run_cells_keeps_main_process_clean():
+    """Regression: the serial path used to run cells through the
+    module-global `_WORKER_LAB` cache meant for pool worker processes,
+    installing a warm Lab into the caller's process that replayed
+    memoised results across subsequent serial sweeps and tests."""
+    from repro.perf import parallel
+
+    cells = [SweepCell("bfs", "roadNet-CA", "persist-warp")]
+    first = run_cells(cells, size="tiny", workers=None, generation=0)
+    assert parallel._WORKER_LAB is None and parallel._WORKER_KEY is None
+    second = run_cells(cells, size="tiny", workers=None, generation=1)
+    assert parallel._WORKER_LAB is None and parallel._WORKER_KEY is None
+    # a bumped generation re-simulates (fresh result object) and, the
+    # engine being deterministic, lands on the same simulated clock
+    assert isinstance(first[0], AppResult) and isinstance(second[0], AppResult)
+    assert second[0] is not first[0]
+    assert second[0].elapsed_ns == first[0].elapsed_ns
+
+
 # ---------------------------------------------------------------------------
 # cost-closure equivalence (the engine's specialised hot path)
 # ---------------------------------------------------------------------------
