@@ -123,6 +123,34 @@ def _run_trace(argv: list[str]) -> int:
     return 0
 
 
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    """The multi-device flags ``run``/``check``/``perf`` share.
+
+    ``--devices N`` (N > 1) rebases every engine-level config onto the
+    distributed strategy (:mod:`repro.core.distributed`): the graph is
+    partitioned across N simulated GPUs and cross-device work pays the
+    interconnect.  Unlike ``--backend`` this changes simulated results.
+    """
+    from repro.graph.partition import PARTITION_CHOICES
+
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate on N devices via the distributed strategy (default: 1)",
+    )
+    parser.add_argument(
+        "--partition",
+        default=None,
+        choices=list(PARTITION_CHOICES),
+        help=(
+            "graph partition for --devices: edge/vertex (greedy cut of that "
+            "kind) or a method name (hash/contiguous/greedy edge-cut)"
+        ),
+    )
+
+
 def _build_run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
@@ -142,6 +170,7 @@ def _build_run_parser() -> argparse.ArgumentParser:
         choices=["event", "batched"],
         help="engine inner loop (bit-identical results; default: the config's own)",
     )
+    _add_device_args(parser)
     parser.add_argument("--permuted", action="store_true", help="randomly permute vertex ids")
     parser.add_argument(
         "--list-configs", action="store_true", help="list named configurations and exit"
@@ -159,11 +188,29 @@ def _run_run(argv: list[str]) -> int:
 
     args = _build_run_parser().parse_args(argv)
     if args.list_configs:
+        from repro.sim.spec import CLUSTERS
+
         for name, cfg in CONFIGS.items():
             kind = cfg.strategy.value
+            dist = (
+                f" devices={cfg.devices} partition={cfg.partition} "
+                f"ic={cfg.interconnect}"
+                if cfg.devices > 1
+                else ""
+            )
             print(
                 f"{name:14s} {kind:10s} workers={cfg.worker_threads:<4d} "
                 f"fetch={cfg.fetch_size:<4d} lb={'on' if cfg.internal_lb else 'off'}"
+                f"{dist}"
+            )
+        print()
+        print("cluster presets (repro.sim.spec.CLUSTERS):")
+        for name, cluster in CLUSTERS.items():
+            ic = cluster.interconnect
+            print(
+                f"{name:16s} {cluster.num_devices} x {cluster.devices[0].name}  "
+                f"{ic.name}: {ic.items_per_ns:g} items/ns, "
+                f"{ic.latency_ns:g} ns latency"
             )
         return 0
     if args.list_apps:
@@ -174,10 +221,17 @@ def _run_run(argv: list[str]) -> int:
         _build_run_parser().error("app and dataset are required (or use --list-*)")
     config = variant_by_name(args.config)
     dataset = resolve_dataset(args.dataset)
-    lab = Lab(size=args.size, backend=args.backend)
+    lab = Lab(
+        size=args.size, backend=args.backend,
+        devices=args.devices, partition=args.partition,
+    )
     result = lab.run(args.app, dataset, config.name, permuted=args.permuted)
 
     backend_tag = f" backend={args.backend}" if args.backend else ""
+    if args.devices and args.devices > 1:
+        backend_tag += f" devices={args.devices}"
+        if args.partition:
+            backend_tag += f" partition={args.partition}"
     print(f"{args.app} on {dataset} [{config.name}] size={args.size}{backend_tag}")
     print(f"  elapsed          {result.elapsed_ms:.3f} ms")
     print(f"  work units       {result.work_units:.0f}")
@@ -186,6 +240,14 @@ def _run_run(argv: list[str]) -> int:
     print(f"  kernel launches  {result.kernel_launches}")
     for key in sorted(result.extra):
         val = result.extra[key]
+        if key == "device_stats":
+            for d in val:
+                print(
+                    f"  device {d['device']}: slots={d['worker_slots']} "
+                    f"tasks={d['tasks']} retired={d['items_retired']} "
+                    f"work={d['work_units']:.0f}"
+                )
+            continue
         shown = f"{val:.4g}" if isinstance(val, float) else val
         print(f"  {key:16s} {shown}")
     return 0
@@ -224,6 +286,7 @@ def _build_check_parser() -> argparse.ArgumentParser:
         choices=["event", "batched"],
         help="engine inner loop to validate (default: each config's own)",
     )
+    _add_device_args(parser)
     return parser
 
 
@@ -272,6 +335,19 @@ def _run_check(argv: list[str]) -> int:
         # routes the override through the oracle checks AND the fuzzer below
         configs = [
             cfg if policy_for(cfg).app_level else cfg.with_overrides(backend=args.backend)
+            for cfg in configs
+        ]
+    if args.devices and args.devices > 1:
+        from repro.core.config import KernelStrategy
+
+        overrides: dict = {
+            "strategy": KernelStrategy.DISTRIBUTED,
+            "devices": args.devices,
+        }
+        if args.partition:
+            overrides["partition"] = args.partition
+        configs = [
+            cfg if policy_for(cfg).app_level else cfg.with_overrides(**overrides)
             for cfg in configs
         ]
     failures = 0
@@ -358,6 +434,7 @@ def _build_perf_parser() -> argparse.ArgumentParser:
             "MetricsSink and embed the summaries in the report"
         ),
     )
+    _add_device_args(parser)
     return parser
 
 
@@ -378,6 +455,8 @@ def _run_perf(argv: list[str]) -> int:
         pre_wall_s=args.pre_wall_s,
         metrics=args.metrics,
         backend=args.backend,
+        devices=args.devices,
+        partition=args.partition,
     )
     problems = validate_report(doc)
     print(format_report(doc))

@@ -144,7 +144,7 @@ def get_adapter(app: str) -> AppAdapter:
 
 def _base_extra(res: RunResult) -> dict[str, Any]:
     """The scheduler-level metrics every Atos-policy run reports."""
-    return {
+    extra = {
         "worker_slots": res.worker_slots,
         "occupancy": res.occupancy_fraction,
         "queue_contention_ns": res.queue_contention_ns,
@@ -160,6 +160,17 @@ def _base_extra(res: RunResult) -> dict[str, Any]:
         "queue_items_popped": res.queue_items_popped,
         "queue_items_banked": res.queue_items_banked,
     }
+    # device-dimension block only on multi-device runs, so the extra dict
+    # (and everything serialized from it) is unchanged for devices=1
+    if res.devices > 1:
+        extra["devices"] = res.devices
+        extra["remote_pushes"] = res.remote_pushes
+        extra["remote_items"] = res.remote_items
+        extra["remote_steals"] = res.remote_steals
+        extra["comm_ns"] = res.comm_ns
+        if res.device_stats is not None:
+            extra["device_stats"] = res.device_stats
+    return extra
 
 
 def run_app(

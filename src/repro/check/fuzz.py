@@ -175,6 +175,9 @@ def fuzz_app(
     seed_list: Sequence[int] = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
     tuned = adapter.tune_config(config) if adapter.tune_config is not None else config
     slots, _ = _worker_slots(spec, tuned)
+    # the distributed policy runs one engine per device off a shared
+    # worker-id space, so the slot-range invariant covers the whole cluster
+    slots *= max(1, tuned.devices)
     check = validator if validator is not None else validate
 
     report = FuzzReport(

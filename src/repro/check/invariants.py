@@ -12,6 +12,14 @@ simulation respects the model's conservation and ordering laws:
   terminal for a queue in every shipped policy — generation and phase
   queues are named uniquely and never reused after a drain; the stats-side
   equation covering drains is :func:`verify_queue_conservation`.)
+* **per-device conservation** — on a multi-device run the worklist names
+  its deques ``{name}@dev{i}``; the monitor attributes pushes/pops to
+  devices by that suffix and :meth:`reconcile` asserts the conservation
+  equation ``pushed_d == popped_d + depth_d`` for **every device
+  individually and for the global sum**.  Items in flight on a link
+  belong to no deque (a remote push only lands as a
+  :class:`~repro.obs.events.RemotePush` + ``QueuePush`` at its arrival
+  time), so both granularities must balance exactly once the run drains.
 * **clock monotonicity** — per queue, each atomic's completion times are
   non-decreasing (push stream and pop/empty-pop stream serialize on
   separate atomics); per worker slot, the TaskPop → TaskRead →
@@ -51,6 +59,8 @@ from repro.obs.events import (
     QueuePop,
     QueuePush,
     QueueSteal,
+    RemotePush,
+    RemoteSteal,
     TaskComplete,
     TaskPop,
     TaskRead,
@@ -102,6 +112,11 @@ class InvariantMonitor:
         self._depth: dict[str, int] = {}
         self._push_t: dict[str, float] = {}
         self._pop_t: dict[str, float] = {}
+        # per-device item totals (keyed by the "@dev{i}" queue-name suffix;
+        # empty on single-device runs, which never tag their queues)
+        self._dev_pushed: dict[int, int] = {}
+        self._dev_popped: dict[int, int] = {}
+        self._dev_queues: dict[int, set[str]] = {}
         # per-worker state
         self._worker_state: dict[int, int] = {}
         self._worker_t: dict[int, float] = {}
@@ -122,11 +137,14 @@ class InvariantMonitor:
             "steals": 0,
             "kernel_launches": 0,
             "policy_switches": 0,
+            "remote_pushes": 0,
+            "remote_steals": 0,
         }
         self.items_retired = 0
         self.queue_items_pushed = 0
         self.queue_items_popped = 0
         self.queue_items_banked = 0
+        self.remote_items = 0
 
     # ------------------------------------------------------------------
     @property
@@ -171,6 +189,11 @@ class InvariantMonitor:
         elif isinstance(event, QueueSteal):
             self.counts["steals"] += 1
             self.queue_items_banked += event.banked
+        elif isinstance(event, RemotePush):
+            self.counts["remote_pushes"] += 1
+            self.remote_items += event.items
+        elif isinstance(event, RemoteSteal):
+            self.counts["remote_steals"] += 1
         elif isinstance(event, KernelLaunch):
             self.counts["kernel_launches"] += 1
         elif isinstance(event, Barrier):
@@ -179,9 +202,21 @@ class InvariantMonitor:
             self.forward.emit(event)
 
     # -- queue layer ---------------------------------------------------
+    @staticmethod
+    def _device_of(queue: str) -> int | None:
+        """Device index from a ``{name}@dev{i}`` queue name, else ``None``."""
+        _, sep, tail = queue.rpartition("@dev")
+        if sep and tail.isdigit():
+            return int(tail)
+        return None
+
     def _on_queue_push(self, ev: QueuePush) -> None:
         self.counts["queue_pushes"] += 1
         self.queue_items_pushed += ev.items
+        dev = self._device_of(ev.queue)
+        if dev is not None:
+            self._dev_pushed[dev] = self._dev_pushed.get(dev, 0) + ev.items
+            self._dev_queues.setdefault(dev, set()).add(ev.queue)
         prev = self._depth.get(ev.queue, 0)
         if ev.depth != prev + ev.items:
             self._flag(
@@ -203,6 +238,10 @@ class InvariantMonitor:
     def _on_queue_pop(self, ev: QueuePop) -> None:
         self.counts["queue_pops"] += 1
         self.queue_items_popped += ev.items
+        dev = self._device_of(ev.queue)
+        if dev is not None:
+            self._dev_popped[dev] = self._dev_popped.get(dev, 0) + ev.items
+            self._dev_queues.setdefault(dev, set()).add(ev.queue)
         prev = self._depth.get(ev.queue, 0)
         expected = prev - ev.items
         if ev.depth != expected or expected < 0:
@@ -419,6 +458,9 @@ class InvariantMonitor:
             ("steals", self.counts["steals"]),
             ("kernel_launches", self.counts["kernel_launches"]),
             ("policy_switches", self.counts["policy_switches"]),
+            ("remote_pushes", self.counts["remote_pushes"]),
+            ("remote_items", self.remote_items),
+            ("remote_steals", self.counts["remote_steals"]),
         ]
         for name, observed in pairs:
             reported = counter(name)
@@ -441,6 +483,48 @@ class InvariantMonitor:
                 "counter-reconcile",
                 f"peak {self.max_in_flight} tasks in flight exceeds "
                 f"worker_slots={slots}",
+            )
+        self._reconcile_devices(counter)
+
+    def _reconcile_devices(self, counter: Any) -> None:
+        """Per-device and global conservation over device-tagged queues.
+
+        Every push/pop event on a ``{name}@dev{i}`` queue was attributed
+        to device ``i``; once the run drains, each device's deques must
+        balance on their own (``pushed_d == popped_d + depth_d``) and the
+        device totals must sum to the global equation.  Remote transfers
+        cannot hide items: an item in flight was popped from the victim
+        (steal) or never entered a deque (push), and lands as a tracked
+        push on arrival.
+        """
+        if not self._dev_queues:
+            return
+        total_pushed = total_popped = total_depth = 0
+        for dev in sorted(self._dev_queues):
+            pushed = self._dev_pushed.get(dev, 0)
+            popped = self._dev_popped.get(dev, 0)
+            depth = sum(self._depth.get(q, 0) for q in self._dev_queues[dev])
+            if pushed != popped + depth:
+                self._flag(
+                    "device-conservation",
+                    f"device {dev} leaks items: pushed {pushed} != "
+                    f"popped {popped} + live {depth}",
+                )
+            total_pushed += pushed
+            total_popped += popped
+            total_depth += depth
+        if total_pushed != total_popped + total_depth:
+            self._flag(
+                "device-conservation",
+                f"global device sum leaks items: pushed {total_pushed} != "
+                f"popped {total_popped} + live {total_depth}",
+            )
+        devices = counter("devices")
+        if devices is not None and len(self._dev_queues) > int(devices):
+            self._flag(
+                "device-conservation",
+                f"events name {len(self._dev_queues)} devices but the run "
+                f"reports devices={devices}",
             )
 
 

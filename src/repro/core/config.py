@@ -36,6 +36,9 @@ __all__ = [
     "HYBRID_CTA",
     "HYBRID_WARP",
     "BSP_BASELINE",
+    "DIST_2",
+    "DIST_4",
+    "DIST_4_PCIE",
     "variant_by_name",
     "VARIANTS",
     "CONFIGS",
@@ -56,6 +59,10 @@ class KernelStrategy(enum.Enum):
     DISCRETE = "discrete"
     HYBRID = "hybrid"
     BSP = "bsp"
+    #: multi-device extension: one persistent phase per device, partitioned
+    #: worklists, cross-device forwarding/stealing over the interconnect
+    #: (see :class:`repro.core.distributed.DistributedPolicy`)
+    DISTRIBUTED = "distributed"
 
 
 @dataclass(frozen=True)
@@ -100,6 +107,21 @@ class AtosConfig:
     #: read-windows into one pass.  Every backend is bit-identical on the
     #: observable event stream; this knob only trades wall-clock.
     backend: str = "event"
+    #: simulated device count.  1 = the classic single-device engine;
+    #: > 1 requires the distributed strategy (per-device worklists, the
+    #: partition below, interconnect-priced forwarding)
+    devices: int = 1
+    #: how the graph is split over devices: a ``--partition`` token from
+    #: :data:`repro.graph.partition.PARTITION_CHOICES`
+    partition: str = "hash"
+    #: interconnect preset name from :data:`repro.sim.spec.INTERCONNECTS`
+    interconnect: str = "nvlink"
+    #: distributed strategy: a cross-device steal must promise at least
+    #: this many ns of estimated work per ns of transfer cost
+    steal_ratio: float = 2.0
+    #: distributed strategy: consecutive empty local pops a device's worker
+    #: must see before it is allowed to probe remote deques
+    steal_idle_threshold: int = 2
     name: str = "atos"
 
     def __post_init__(self) -> None:
@@ -131,6 +153,28 @@ class AtosConfig:
             and self.hybrid_high_watermark < self.hybrid_low_watermark
         ):
             raise ValueError("hybrid_high_watermark must be >= hybrid_low_watermark")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        if self.devices > 1 and self.strategy is not KernelStrategy.DISTRIBUTED:
+            raise ValueError("devices > 1 requires the distributed strategy")
+        from repro.graph.partition import PARTITION_CHOICES
+
+        if self.partition not in PARTITION_CHOICES:
+            raise ValueError(
+                f"unknown partition {self.partition!r}; "
+                f"known: {', '.join(PARTITION_CHOICES)}"
+            )
+        from repro.sim.spec import INTERCONNECTS
+
+        if self.interconnect not in INTERCONNECTS:
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}; "
+                f"known: {sorted(INTERCONNECTS)}"
+            )
+        if self.steal_ratio < 0:
+            raise ValueError("steal_ratio must be >= 0")
+        if self.steal_idle_threshold < 0:
+            raise ValueError("steal_idle_threshold must be >= 0")
 
     # ------------------------------------------------------------------
     @property
@@ -170,6 +214,8 @@ class AtosConfig:
             kind = "hybrid"
         elif self.strategy is KernelStrategy.BSP:
             kind = "bsp"
+        elif self.strategy is KernelStrategy.DISTRIBUTED:
+            kind = f"dist{self.devices}-{self.partition}"
         else:
             kind = "discrete"
         if self.is_warp_worker and self.fetch_size == 1:
@@ -248,12 +294,35 @@ VARIANTS: dict[str, AtosConfig] = {
 #: (worker/fetch fields are ignored by the BSP policy)
 BSP_BASELINE = AtosConfig(strategy=KernelStrategy.BSP, name="BSP")
 
+# Multi-device extension presets: persistent CTA-shaped workers per device
+# (the shape the paper's persist-CTA uses), hash edge-cut by default so the
+# presets work on any graph without locality assumptions.
+DIST_2 = AtosConfig(
+    strategy=KernelStrategy.DISTRIBUTED,
+    worker_threads=256,
+    fetch_size=64,
+    internal_lb=True,
+    registers_per_thread=56,
+    devices=2,
+    partition="hash",
+    name="dist-2",
+)
+
+DIST_4 = DIST_2.with_overrides(devices=4, name="dist-4")
+
+DIST_4_PCIE = DIST_2.with_overrides(
+    devices=4, interconnect="pcie", name="dist-4-pcie"
+)
+
 #: every named configuration this repo ships (paper variants + extensions)
 CONFIGS: dict[str, AtosConfig] = {
     **VARIANTS,
     "hybrid-CTA": HYBRID_CTA,
     "hybrid-warp": HYBRID_WARP,
     "BSP": BSP_BASELINE,
+    "dist-2": DIST_2,
+    "dist-4": DIST_4,
+    "dist-4-pcie": DIST_4_PCIE,
 }
 
 

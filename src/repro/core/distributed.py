@@ -1,0 +1,373 @@
+"""The distributed execution policy: N devices, one simulated clock.
+
+This is the multi-GPU extension the Atos authors' follow-up work targets:
+each device runs a persistent-kernel worker pool against its *own* deque
+of a :class:`~repro.queueing.device.DeviceWorklist`; the graph is split by
+a :func:`~repro.graph.partition.partition_graph` placement, completions
+forward new work to its owner device over the interconnect, and idle
+devices pull work back with interconnect-priced steals.
+
+Everything shares one event heap (the engine's
+:class:`~repro.sim.engine.EventLoop`), so cross-device causality is free:
+a remote push is an ``ARRIVE`` event scheduled at its link-transfer
+completion, and the destination's parked workers wake when it lands — no
+per-device clock skew to reconcile.
+
+Execution model per device:
+
+* its own :class:`~repro.sim.memory.BandwidthServer` and cost closure
+  (per-device HBM; devices never contend on each other's memory);
+* its own occupancy-derived worker slots (global worker id = device base
+  + local slot, so obs events stay worker-attributed and device
+  attribution is a range lookup);
+* a worker that pops its device's deque empty parks; it may probe remote
+  deques (paying one interconnect latency per probe) only once the
+  device's consecutive-empty-pop streak reaches
+  ``AtosConfig.steal_idle_threshold``, and a steal only proceeds when the
+  loot's estimated work beats ``steal_ratio`` times its transfer cost.
+
+Stolen (and steal-banked) items execute away from their owner, so their
+edge traffic is additionally charged to the owner->executor link — the
+remote-data-access cost that makes meshes punish stealing while
+work-rich rmat frontiers absorb it (the ``bench_multigpu`` shape result).
+
+``devices=1`` never reaches this module: single-device configurations
+keep their original strategies, and the classic policies are untouched —
+the golden-digest matrix pins that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.core.backend import _DONE, _READ, SchedulerError
+from repro.core.engine import ExecutionEngine, _worker_slots
+from repro.core.policy import (
+    ExecutionPolicy,
+    PolicyOutcome,
+    register_policy,
+)
+from repro.core.config import KernelStrategy
+from repro.graph.partition import Partition, partition_graph, resolve_partition_choice
+from repro.obs.events import KernelLaunch, TaskComplete, TaskPop, TaskRead
+from repro.queueing.device import DeviceWorklist
+from repro.sim.cost import make_cost_fn
+from repro.sim.memory import BandwidthServer
+from repro.sim.spec import ClusterSpec, GpuSpec, cluster_for
+
+__all__ = ["DeviceState", "DistributedPolicy"]
+
+#: third event tag next to the backend's _READ/_DONE: a remote-push
+#: arrival landing items in a device's deque.  The flat 6-tuple layout is
+#: shared — (t, seq, _ARRIVE, dst_device, items, (src_device, transfer_ns))
+_ARRIVE = 2
+
+
+@dataclass
+class DeviceState:
+    """Per-device simulated hardware plus scheduling state."""
+
+    index: int
+    spec: GpuSpec
+    mem: BandwidthServer
+    cost_fn: object
+    slots: int
+    base: int  # first global worker id on this device
+    occupancy: float
+    idle: list[int] = dataclass_field(default_factory=list)
+    #: consecutive empty local pops across the device's workers; gates the
+    #: steal permission and resets on any successful pop
+    idle_streak: int = 0
+    # per-device accounting, surfaced as RunResult.device_stats
+    tasks: int = 0
+    items_retired: int = 0
+    work_units: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "device": self.index,
+            "worker_slots": self.slots,
+            "tasks": self.tasks,
+            "items_retired": self.items_retired,
+            "work_units": self.work_units,
+            "mem_busy_ns": self.mem.busy_time,
+        }
+
+
+class DistributedPolicy(ExecutionPolicy):
+    """Per-device persistent pools + partition-routed forwarding/stealing."""
+
+    name = "distributed"
+
+    def execute(self, eng: ExecutionEngine) -> PolicyOutcome:
+        config, kernel, sink = eng.config, eng.kernel, eng.sink
+        graph = getattr(kernel, "graph", None)
+        if graph is None:
+            raise SchedulerError(
+                "the distributed policy needs kernel.graph to partition; "
+                f"kernel {type(kernel).__name__} does not expose one"
+            )
+        cluster = cluster_for(config.devices, config.interconnect, eng.spec)
+        ndev = cluster.num_devices
+        kind, method = resolve_partition_choice(config.partition)
+        part = partition_graph(graph, ndev, kind=kind, method=method)
+        eng.set_mode(persistent=True)
+
+        devs: list[DeviceState] = []
+        dev_of: list[int] = []
+        base = 0
+        for i, dspec in enumerate(cluster.devices):
+            mem = BandwidthServer(dspec.mem_edges_per_ns)
+            slots, occ = _worker_slots(dspec, config)
+            devs.append(
+                DeviceState(
+                    index=i,
+                    spec=dspec,
+                    mem=mem,
+                    cost_fn=make_cost_fn(
+                        dspec,
+                        mem,
+                        worker_threads=config.worker_threads,
+                        use_internal_lb=config.internal_lb,
+                    ),
+                    slots=slots,
+                    base=base,
+                    occupancy=occ,
+                )
+            )
+            dev_of.extend([i] * slots)
+            base += slots
+        eng.slots = base
+        eng.occupancy = sum(d.occupancy * d.slots for d in devs) / base
+
+        # steal-gate work estimate: the average item costs about one unit
+        # of frontier traffic plus its average degree of edge traffic,
+        # served at device HBM rate
+        avg_degree = graph.num_edges / max(1, graph.num_vertices)
+        item_work_ns = (1.0 + avg_degree) / cluster.devices[0].mem_edges_per_ns
+
+        wl = DeviceWorklist(
+            part,
+            cluster.interconnect,
+            capacity=config.queue_capacity,
+            atomic_ns=eng.spec.atomic_queue_ns,
+            seed=0,
+            name=f"{config.name}-wl",
+            sink=sink,
+            steal_ratio=config.steal_ratio,
+            item_work_ns=item_work_ns,
+        )
+        eng.queue = wl
+        # the engine's single-queue fast paths don't apply: this policy
+        # drives the worklist itself
+        eng._qpop = eng._qpush = eng._singleq = None
+        self._run_state = (eng, wl, devs, dev_of, part, ndev)
+
+        # launch: one kernel per device, concurrently, at t=0
+        t0 = eng.spec.kernel_launch_ns
+        if sink is not None:
+            for _ in range(ndev):
+                sink.emit(KernelLaunch(t=0.0, duration_ns=t0))
+        wl.push(kernel.initial_items(), t0)  # host scatter to owner deques
+        for d in devs:
+            queued = wl.deques[d.index].size
+            needed = min(d.slots, -(-queued // config.fetch_size)) if queued else 0
+            for local in range(d.slots):
+                w = d.base + local
+                if local < needed:
+                    self._try_pop(w, t0 + eng.pop_stagger(w, 0))
+                else:
+                    d.idle.append(w)
+
+        end = self._drain(t0)
+        eng.device_stats = [d.snapshot() for d in devs]
+        # engine-level memory utilization = mean device-HBM utilization
+        eng.mem.busy_time = sum(d.mem.busy_time for d in devs) / ndev
+        eng.mem.total_edges = sum(d.mem.total_edges for d in devs)
+        return PolicyOutcome(
+            elapsed_ns=end, kernel_launches=ndev, generations=1
+        )
+
+    # ------------------------------------------------------------------
+    def _drain(self, t0: float) -> float:
+        """Process READ/DONE/ARRIVE events to global quiescence."""
+        eng, wl, devs, dev_of, part, ndev = self._run_state
+        kernel, sink = eng.kernel, eng.sink
+        loop = eng.loop
+        heap = loop._heap
+        trace = eng.trace
+        end = t0
+        while True:
+            while heap:
+                t, _, tag, worker, items, x = heappop(heap)
+                loop.now = t
+                if tag == _READ:
+                    if sink is not None:
+                        sink.emit(TaskRead(t=t, worker=worker, items=int(items.size)))
+                    payload = kernel.on_read(items, t)
+                    s = loop._seq
+                    heappush(heap, (x, s, _DONE, worker, items, payload))
+                    loop._seq = s + 1
+                    continue
+                if tag == _ARRIVE:
+                    src, transfer_ns = x
+                    d = devs[worker]
+                    wl.deliver(src, d.index, items, t, transfer_ns)
+                    self._wake_device(d, t)
+                    continue
+                # DONE
+                eng.in_flight -= 1
+                result = kernel.on_complete(items, x, t)
+                if t > end:
+                    end = t
+                d = devs[dev_of[worker]]
+                retired = result.items_retired
+                work = result.work_units
+                new_items = result.new_items
+                eng.items_retired += retired
+                eng.work_units += work
+                d.tasks += 1
+                d.items_retired += retired
+                d.work_units += work
+                trace.times.append(t)
+                trace.items.append(retired)
+                trace.work.append(work)
+                if sink is not None:
+                    sink.emit(
+                        TaskComplete(
+                            t=t,
+                            worker=worker,
+                            items=int(items.size),
+                            retired=retired,
+                            pushed=int(new_items.size),
+                            work=work,
+                        )
+                    )
+                if new_items.size:
+                    self._route_pushes(d, new_items, t)
+                # the completing worker pops again (steal gate applies)
+                self._try_pop(worker, t + eng.pop_stagger(worker, eng.pop_seq))
+                self._wake_device(d, t)
+                self._poke_idle_devices(t)
+            # heap empty: any parked work means every owner device idled
+            # before its items landed — wake them and keep draining
+            if wl.size:
+                for d in devs:
+                    self._wake_device(d, loop.now)
+                if heap:
+                    continue
+            extra = kernel.final_check(end)
+            if extra.size == 0:
+                return end
+            wl.push(extra, end)  # host-side refill, owner-routed
+            for d in devs:
+                self._wake_device(d, end)
+            if not heap:
+                return end
+
+    # ------------------------------------------------------------------
+    def _route_pushes(self, d: DeviceState, new_items: np.ndarray, t: float) -> None:
+        """Send a completion's pushes home: local free, remote via link."""
+        eng, wl, devs, dev_of, part, ndev = self._run_state
+        owners = part.owner_of(new_items)
+        local = new_items[owners == d.index]
+        if local.size:
+            wl.push_local(d.index, local, t)
+        if local.size == new_items.size:
+            return
+        loop = eng.loop
+        for dst in np.unique(owners):
+            dst = int(dst)
+            if dst == d.index:
+                continue
+            batch = new_items[owners == dst]
+            arrive, transfer_ns = wl.send(d.index, dst, batch, t)
+            s = loop._seq
+            heappush(
+                loop._heap,
+                (arrive, s, _ARRIVE, dst, batch, (d.index, transfer_ns)),
+            )
+            loop._seq = s + 1
+
+    def _try_pop(self, worker: int, t: float, *, force_steal: bool = False) -> bool:
+        """One pop attempt for ``worker``; schedules its READ on success."""
+        eng, wl, devs, dev_of, part, ndev = self._run_state
+        d = devs[dev_of[worker]]
+        allow = force_steal or d.idle_streak >= eng.config.steal_idle_threshold
+        items, t_acq = wl.pop(eng._fetch, t, home=d.index, allow_steal=allow)
+        n = int(items.size)
+        if n == 0:
+            d.idle_streak += 1
+            d.idle.append(worker)
+            return False
+        d.idle_streak = 0
+        seq = eng.pop_seq + 1
+        eng.pop_seq = seq
+        eng.total_tasks += 1
+        if eng.sink is not None:
+            eng.sink.emit(TaskPop(t=t_acq, worker=worker, items=n))
+        if eng.total_tasks > eng.max_tasks:
+            raise SchedulerError(
+                f"run exceeded max_tasks={eng.max_tasks}; "
+                "the application appears not to converge"
+            )
+        edge_work, max_degree = eng.kernel.work_estimate(items)
+        h = (worker * 2654435761 + (seq + 7919) * 40503 + 12345) & 0xFFFF
+        finish = d.cost_fn(
+            t_acq, n, edge_work, max_degree, 1.0 + eng._dur_jit * (h / 65536.0)
+        )
+        # remote-data-access cost: items owned elsewhere (stolen or
+        # steal-banked loot) read their adjacency over the owner's link
+        owners = part.owner_of(items)
+        remote = owners != d.index
+        if remote.any():
+            counts = np.bincount(owners[remote], minlength=ndev)
+            latency = wl.interconnect.latency_ns
+            for o in np.flatnonzero(counts):
+                share = (edge_work + n) * counts[o] / n
+                link_end = wl.reserve_link(int(o), d.index, share, t_acq)
+                if link_end + latency > finish:
+                    finish = link_end + latency
+        t_read = finish - eng.read_lead_ns
+        if t_read < t_acq:
+            t_read = t_acq
+        loop = eng.loop
+        s = loop._seq
+        heappush(loop._heap, (t_read, s, _READ, worker, items, finish))
+        loop._seq = s + 1
+        eng.in_flight += 1
+        return True
+
+    def _wake_device(self, d: DeviceState, t: float) -> None:
+        """Hand a device's queued items to its parked workers."""
+        eng, wl, devs, dev_of, part, ndev = self._run_state
+        deque = wl.deques[d.index]
+        while d.idle and deque.size > 0:
+            worker = d.idle.pop()
+            if not self._try_pop(worker, t + eng.pop_stagger(worker, eng.pop_seq)):
+                break
+
+    def _poke_idle_devices(self, t: float) -> None:
+        """Give one starved device a steal attempt (bounded: one per event).
+
+        Workers are event-driven: once parked they never poll, so without
+        a poke a device that drained early would idle forever while its
+        peers are loaded.  Each completion elsewhere pokes at most one
+        fully-idle device whose deque is empty; the woken worker's pop
+        runs with stealing allowed and pays the normal probe/transfer
+        costs (and re-parks if the steal-ratio gate refuses every victim).
+        """
+        eng, wl, devs, dev_of, part, ndev = self._run_state
+        if ndev == 1 or wl.size == 0:
+            return
+        for d in devs:
+            if d.idle and wl.deques[d.index].size == 0:
+                worker = d.idle.pop()
+                self._try_pop(worker, t, force_steal=True)
+                return
+
+
+register_policy(KernelStrategy.DISTRIBUTED)(DistributedPolicy)

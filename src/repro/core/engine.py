@@ -91,6 +91,15 @@ class RunResult:
     queue_items_banked: int = 0
     #: hybrid strategy: number of discrete↔persistent crossovers
     policy_switches: int = 0
+    #: multi-device runs (defaults keep single-device results unchanged):
+    #: simulated device count and the cross-device traffic the run paid
+    devices: int = 1
+    remote_pushes: int = 0
+    remote_items: int = 0
+    remote_steals: int = 0
+    comm_ns: float = 0.0
+    #: per-device accounting snapshots (None on single-device runs)
+    device_stats: list | None = field(repr=False, default=None)
     trace: ThroughputTrace = field(repr=False, default_factory=ThroughputTrace)
     config_name: str = ""
 
@@ -176,6 +185,12 @@ class ExecutionEngine:
         self.q_items_pushed = 0
         self.q_items_popped = 0
         self.q_banked_items = 0
+        self.q_remote_pushes = 0
+        self.q_remote_items = 0
+        self.q_remote_steals = 0
+        self.q_comm_ns = 0.0
+        #: per-device snapshots, set by the distributed policy
+        self.device_stats: list | None = None
         # hot-path specialisations (repro.perf): the per-task cost closure
         # binds every spec/config-derived constant once; the fetch size and
         # duration-jitter amplitude are hoisted out of try_pop.  All of it
@@ -230,6 +245,10 @@ class ExecutionEngine:
         self.q_items_pushed += s.items_pushed
         self.q_items_popped += s.items_popped
         self.q_banked_items += s.banked_items
+        self.q_remote_pushes += s.remote_pushes
+        self.q_remote_items += s.remote_items
+        self.q_remote_steals += s.remote_steals
+        self.q_comm_ns += s.comm_ns
 
     def new_queue(self, name: str) -> Worklist:
         self.absorb_queue_stats()  # retire the previous generation's queue
@@ -424,6 +443,12 @@ class ExecutionEngine:
             queue_items_popped=self.q_items_popped - self.q_banked_items,
             queue_items_banked=self.q_banked_items,
             policy_switches=policy_switches,
+            devices=self.config.devices,
+            remote_pushes=self.q_remote_pushes,
+            remote_items=self.q_remote_items,
+            remote_steals=self.q_remote_steals,
+            comm_ns=self.q_comm_ns,
+            device_stats=self.device_stats,
             trace=self.trace,
             config_name=self.config.name,
         )

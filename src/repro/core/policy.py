@@ -410,6 +410,12 @@ register_policy(KernelStrategy.DISCRETE)(DiscretePolicy)
 register_policy(KernelStrategy.HYBRID)(HybridPolicy)
 register_policy(KernelStrategy.BSP)(BspPolicy)
 
+# the distributed policy lives in its own module (it carries the whole
+# multi-device runtime); importing it registers KernelStrategy.DISTRIBUTED.
+# The import sits below the registry so the submodule can import this
+# module's names without a cycle.
+from repro.core import distributed as _distributed  # noqa: E402,F401
+
 
 def policy_for(config: AtosConfig) -> ExecutionPolicy:
     """Instantiate the policy registered for ``config.strategy``."""

@@ -58,10 +58,37 @@ class Lab:
     #: configuration's own ``backend`` field.  Purely a wall-clock knob —
     #: results are bit-identical across backends
     backend: str | None = None
+    #: simulate every engine-level run on N devices: rebases each config
+    #: onto the distributed strategy (repro.core.distributed), keeping its
+    #: name so cells stay comparable across device counts.  Unlike
+    #: ``backend`` this CHANGES simulated results — it is the scaling
+    #: study knob, not an equivalence knob.  None/1 leaves configs alone
+    devices: int | None = None
+    #: partition choice for ``devices`` > 1 (repro.graph.partition:
+    #: "edge"/"vertex" or a method name); None keeps each config's own
+    partition: str | None = None
 
     def __post_init__(self) -> None:
         self._graphs: dict[str, Csr] = {}
         self._results: dict[tuple, AppResult] = {}
+
+    def _effective_config(self, config: AtosConfig) -> AtosConfig:
+        """Apply the Lab-level device override to one configuration.
+
+        BSP configs have no engine (and no queues to distribute), so they
+        pass through untouched, exactly like the ``backend`` override.
+        """
+        if not self.devices or self.devices <= 1:
+            return config
+        if config.strategy is KernelStrategy.BSP:
+            return config
+        overrides: dict = {
+            "strategy": KernelStrategy.DISTRIBUTED,
+            "devices": self.devices,
+        }
+        if self.partition is not None:
+            overrides["partition"] = self.partition
+        return config.with_overrides(**overrides)
 
     # ------------------------------------------------------------------
     def graph(self, dataset: str, *, permuted: bool = False) -> Csr:
@@ -93,7 +120,7 @@ class Lab:
         result = run_app(
             app,
             graph,
-            CONFIGS[impl],
+            self._effective_config(CONFIGS[impl]),
             spec=self.spec,
             max_tasks=self.max_tasks,
             validate=self.validate,
@@ -174,6 +201,8 @@ class Lab:
             validate=self.validate,
             backend=self.backend,
             workers=workers,
+            devices=self.devices,
+            partition=self.partition,
         )
         for cell, res in zip(cells, results):
             if not isinstance(res, CellError):
@@ -202,7 +231,7 @@ class Lab:
         result = run_app(
             app,
             graph,
-            config,
+            self._effective_config(config),
             spec=self.spec,
             max_tasks=self.max_tasks,
             sink=sink,

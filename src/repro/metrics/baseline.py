@@ -31,8 +31,9 @@ BASELINE_SCHEMA = "repro.metrics/baseline-v1"
 BASELINE_PATH = "BENCH_metrics_baseline.json"
 
 #: (app, dataset, config) — one traversal, one data-centric and one
-#: speculative app (the Table 1 families) plus a hybrid and a stealing-free
-#: discrete cell, small enough that the whole sweep is a CI smoke job
+#: speculative app (the Table 1 families) plus a hybrid, a stealing-free
+#: discrete and a multi-device cell, small enough that the whole sweep is
+#: a CI smoke job
 BASELINE_CELLS: tuple[tuple[str, str, str], ...] = (
     ("bfs", "roadNet-CA", "persist-warp"),
     ("bfs", "road_usa", "hybrid-CTA"),
@@ -40,6 +41,7 @@ BASELINE_CELLS: tuple[tuple[str, str, str], ...] = (
     ("coloring", "indochina-2004", "discrete-CTA"),
     ("sssp", "roadNet-CA", "discrete-warp"),
     ("cc", "soc-LiveJournal1", "persist-warp"),
+    ("bfs", "soc-LiveJournal1", "dist-2"),
 )
 
 

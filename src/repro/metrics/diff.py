@@ -165,6 +165,9 @@ def flatten_summary(doc: dict) -> dict[str, float]:
             out[f"histograms.{name}.{stat}"] = float(h[stat])
     for name in SERIES_NAMES:
         out[f"series.{name}.peak"] = float(doc["series"][name]["peak"])
+    for dev, block in sorted((doc.get("devices") or {}).items()):
+        for name, value in block.items():
+            out[f"devices.{dev}.{name}"] = float(value)
     return out
 
 
@@ -219,9 +222,23 @@ def diff_summaries(
             report.problems.append(f"{label} summary invalid: {problem}")
     if report.problems:
         return report
+    # a devices=1 vs devices=N comparison is a legitimate A/B (scaling
+    # study), so tag the labels — same pattern as the backend tag in
+    # ``_diff_bench`` — and skip the per-device metrics the other side
+    # cannot have; with equal device counts a one-sided metric is drift
+    ndev_a = len(base.get("devices") or {}) or 1
+    ndev_b = len(new.get("devices") or {}) or 1
+    if ndev_a != ndev_b:
+        report.base_label = f"{base_label} [{ndev_a}dev]"
+        report.new_label = f"{new_label} [{ndev_b}dev]"
     a, b = flatten_summary(base), flatten_summary(new)
+    if ndev_a == ndev_b:
+        for k in sorted(set(a) - set(b)):
+            report.problems.append(f"metric {prefix + k} missing from new")
+        for k in sorted(set(b) - set(a)):
+            report.problems.append(f"metric {prefix + k} not in base")
     _compare(
-        [(prefix + k, a[k], b[k]) for k in a],
+        [(prefix + k, a[k], b[k]) for k in a if k in b],
         report, merged, default_threshold,
     )
     return report
@@ -316,14 +333,23 @@ def _diff_bench(base, new, *, thresholds, default_threshold, base_label, new_lab
             f"bench sizes differ: {base.get('size')!r} vs {new.get('size')!r}"
         )
         return report
-    # differing engine backends are a legitimate A/B comparison (simulated
-    # results are bit-identical across backends; only wall-clock moves), so
-    # tag the labels instead of refusing
-    backend_a = base.get("backend", "event")
-    backend_b = new.get("backend", "event")
-    if backend_a != backend_b:
-        report.base_label = f"{base_label} [{backend_a}]"
-        report.new_label = f"{new_label} [{backend_b}]"
+    # differing backends / device counts / partition methods are legitimate
+    # A/B comparisons (backend moves only wall-clock; devices and partition
+    # are deliberate scaling studies), so tag the labels instead of refusing
+    tags_a: list[str] = []
+    tags_b: list[str] = []
+    for key, default, fmt in (
+        ("backend", "event", "{}"),
+        ("devices", 1, "{}dev"),
+        ("partition", "hash", "{}"),
+    ):
+        va, vb = base.get(key, default), new.get(key, default)
+        if va != vb:
+            tags_a.append(fmt.format(va))
+            tags_b.append(fmt.format(vb))
+    if tags_a:
+        report.base_label = f"{base_label} [{' '.join(tags_a)}]"
+        report.new_label = f"{new_label} [{' '.join(tags_b)}]"
     merged = dict(DEFAULT_THRESHOLDS)
     if thresholds:
         merged.update(thresholds)

@@ -77,6 +77,21 @@ def to_prometheus(doc: dict, *, prefix: str = "repro") -> str:
         lines.append(f"{base}_count{labels} {h['count']}")
     for sname in SERIES_NAMES:
         metric(f"{prefix}_{sname}_peak", "gauge", doc["series"][sname]["peak"])
+    for dev, block in sorted(
+        (doc.get("devices") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        for cname in sorted(block):
+            dev_labels = (
+                labels[:-1] + f',device="{dev}"}}' if labels else f'{{device="{dev}"}}'
+            )
+            mname = f"{prefix}_device_{cname}"
+            suffix = "" if cname == "max_depth" else "_total"
+            metric(
+                f"{mname}{suffix}",
+                "gauge" if cname == "max_depth" else "counter",
+                block[cname],
+                dev_labels,
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -100,6 +115,10 @@ def to_jsonl(doc: dict) -> str:
         # the series' own "kind" (rate/gauge) must not clobber the record kind
         payload["series_kind"] = payload.pop("kind")
         records.append({"kind": "series", "name": sname, **ident, **payload})
+    for dev, block in sorted(
+        (doc.get("devices") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        records.append({"kind": "device", "device": int(dev), **ident, **block})
     return "\n".join(
         json.dumps(rec, sort_keys=True, separators=(",", ":")) for rec in records
     ) + "\n"
@@ -166,4 +185,19 @@ def format_dashboard(doc: dict) -> str:
         lines.append(
             f"  {sname:<{label_w}s} {_spark(s['values'])} peak={s['peak']:g}{unit}"
         )
+    devices = doc.get("devices") or {}
+    if devices:
+        lines.append(
+            f"  devices {len(devices)}   remote pushes {int(c['remote_pushes'])}   "
+            f"remote steals {int(c['remote_steals'])}   "
+            f"comm {c['comm_ns'] / 1e6:.3f} ms"
+        )
+        for dev, block in sorted(devices.items(), key=lambda kv: int(kv[0])):
+            lines.append(
+                f"    dev{dev}  pushed={int(block['items_pushed'])} "
+                f"popped={int(block['items_popped'])} "
+                f"remote_in={int(block['remote_items_in'])} "
+                f"steals={int(block['remote_steals'])} "
+                f"max_depth={int(block['max_depth'])}"
+            )
     return "\n".join(lines)

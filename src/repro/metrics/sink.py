@@ -36,13 +36,21 @@ from repro.obs.events import (
     QueuePop,
     QueuePush,
     QueueSteal,
+    RemotePush,
+    RemoteSteal,
     TaskComplete,
     TaskPop,
     TaskRead,
     TraceEvent,
 )
 
-__all__ = ["MetricsSink", "COUNTER_NAMES", "HISTOGRAM_NAMES", "SERIES_NAMES"]
+__all__ = [
+    "MetricsSink",
+    "COUNTER_NAMES",
+    "HISTOGRAM_NAMES",
+    "SERIES_NAMES",
+    "DEVICE_COUNTER_NAMES",
+]
 
 COUNTER_NAMES = (
     "task_pops",
@@ -67,11 +75,31 @@ COUNTER_NAMES = (
     "generations",
     "max_queue_depth",
     "max_in_flight",
+    # multi-device counters: zero on every single-device run (the
+    # distributed policy is the only emitter of Remote* events)
+    "remote_pushes",
+    "remote_items",
+    "remote_steals",
+    "comm_ns",
 )
 
 HISTOGRAM_NAMES = ("task_latency_ns", "queue_wait_ns", "generation_span_ns")
 
-SERIES_NAMES = ("queue_depth", "in_flight", "retired", "steals", "empty_pops")
+SERIES_NAMES = (
+    "queue_depth", "in_flight", "retired", "steals", "empty_pops",
+    "remote_items",
+)
+
+#: per-device counter keys of :attr:`MetricsSink.device_counters`
+DEVICE_COUNTER_NAMES = (
+    "queue_pushes",
+    "queue_pops",
+    "items_pushed",
+    "items_popped",
+    "max_depth",
+    "remote_items_in",
+    "remote_steals",
+)
 
 
 class MetricsSink:
@@ -88,6 +116,7 @@ class MetricsSink:
         self.counters["work_units"] = 0.0
         self.counters["launch_ns"] = 0.0
         self.counters["barrier_ns"] = 0.0
+        self.counters["comm_ns"] = 0.0
         self.histograms: dict[str, LogHistogram] = {
             name: LogHistogram(subbuckets=hist_subbuckets) for name in HISTOGRAM_NAMES
         }
@@ -97,6 +126,7 @@ class MetricsSink:
             "retired": StrideSeries("rate", stride_ns=stride_ns, max_bins=max_bins),
             "steals": StrideSeries("rate", stride_ns=stride_ns, max_bins=max_bins),
             "empty_pops": StrideSeries("rate", stride_ns=stride_ns, max_bins=max_bins),
+            "remote_items": StrideSeries("rate", stride_ns=stride_ns, max_bins=max_bins),
         }
         self.events_seen = 0
         self.end_t = 0.0
@@ -107,6 +137,25 @@ class MetricsSink:
         self._queue_total = 0
         self._in_flight = 0
         self._open_generation: tuple[int, float] | None = None
+        #: per-device counters, keyed by the "@dev{i}" queue-name suffix /
+        #: the device ids Remote* events carry; empty on single-device runs
+        self.device_counters: dict[int, dict[str, float]] = {}
+
+    def _device(self, dev: int) -> dict[str, float]:
+        slot = self.device_counters.get(dev)
+        if slot is None:
+            slot = self.device_counters[dev] = {
+                name: 0 for name in DEVICE_COUNTER_NAMES
+            }
+        return slot
+
+    @staticmethod
+    def _device_of(queue: str) -> int | None:
+        """Device index from a ``{name}@dev{i}`` queue name, else ``None``."""
+        _, sep, tail = queue.rpartition("@dev")
+        if sep and tail.isdigit():
+            return int(tail)
+        return None
 
     # ------------------------------------------------------------------
     def emit(self, event: TraceEvent) -> None:
@@ -126,12 +175,24 @@ class MetricsSink:
             self.series["queue_depth"].observe(t, total)
             if total > c["max_queue_depth"]:
                 c["max_queue_depth"] = total
+            # one deque per device in the distributed worklist, so the
+            # event's own depth IS the device's depth
+            dev = self._device_of(event.queue)
+            slot = self._device(dev) if dev is not None else None
             if isinstance(event, QueuePush):
                 c["queue_pushes"] += 1
                 c["queue_items_pushed"] += event.items
+                if slot is not None:
+                    slot["queue_pushes"] += 1
+                    slot["items_pushed"] += event.items
             else:
                 c["queue_pops"] += 1
                 c["queue_items_popped"] += event.items
+                if slot is not None:
+                    slot["queue_pops"] += 1
+                    slot["items_popped"] += event.items
+            if slot is not None and event.depth > slot["max_depth"]:
+                slot["max_depth"] = event.depth
         elif isinstance(event, TaskPop):
             c["task_pops"] += 1
             c["task_items"] += event.items
@@ -161,6 +222,17 @@ class MetricsSink:
             c["steals"] += 1
             c["steal_items"] += event.items
             self.series["steals"].add(t)
+        elif isinstance(event, RemotePush):
+            c["remote_pushes"] += 1
+            c["remote_items"] += event.items
+            c["comm_ns"] += event.transfer_ns
+            self.series["remote_items"].add(t, event.items)
+            self._device(event.dst)["remote_items_in"] += event.items
+        elif isinstance(event, RemoteSteal):
+            c["remote_steals"] += 1
+            c["comm_ns"] += event.transfer_ns
+            self.series["remote_items"].add(t, event.items)
+            self._device(event.thief)["remote_steals"] += 1
         elif isinstance(event, KernelLaunch):
             c["kernel_launches"] += 1
             c["launch_ns"] += event.duration_ns
@@ -197,4 +269,5 @@ class MetricsSink:
             + len(self._open_pops)
             + len(self._queue_depths)
             + len(self.counters)
+            + sum(len(d) for d in self.device_counters.values())
         )

@@ -22,6 +22,7 @@ from typing import Any
 from repro.metrics.hist import LogHistogram
 from repro.metrics.sink import (
     COUNTER_NAMES,
+    DEVICE_COUNTER_NAMES,
     HISTOGRAM_NAMES,
     SERIES_NAMES,
     MetricsSink,
@@ -35,7 +36,10 @@ __all__ = [
     "load_summary",
 ]
 
-SUMMARY_SCHEMA = "repro.metrics/summary-v1"
+#: v2 adds the device dimension: the ``remote_*``/``comm_ns`` counters,
+#: the ``remote_items`` series and the per-device ``devices`` block
+#: (empty dict on single-device runs, so v1-era values are unchanged)
+SUMMARY_SCHEMA = "repro.metrics/summary-v2"
 
 
 def summarize(
@@ -59,6 +63,11 @@ def summarize(
         "counters": {name: sink.counters[name] for name in COUNTER_NAMES},
         "histograms": {name: sink.histograms[name].to_dict() for name in HISTOGRAM_NAMES},
         "series": {name: sink.series[name].to_dict() for name in SERIES_NAMES},
+        # keyed by str(device index) so the document round-trips JSON
+        "devices": {
+            str(dev): dict(sink.device_counters[dev])
+            for dev in sorted(sink.device_counters)
+        },
     }
 
 
@@ -115,6 +124,7 @@ def validate_summary(doc: Any) -> list[str]:
         ("app", str), ("dataset", str), ("config", str), ("size", str),
         ("elapsed_ns", (int, float)), ("events_seen", int),
         ("counters", dict), ("histograms", dict), ("series", dict),
+        ("devices", dict),
     ):
         if key not in doc:
             problems.append(f"missing key {key!r}")
@@ -139,6 +149,18 @@ def validate_summary(doc: Any) -> list[str]:
             problems.append(f"missing series {name!r}")
         else:
             _check_series(name, doc["series"][name], problems)
+    for dev, block in sorted(doc["devices"].items()):
+        if not (isinstance(dev, str) and dev.isdigit()):
+            problems.append(f"device key {dev!r} must be a stringified index")
+            continue
+        if not isinstance(block, dict):
+            problems.append(f"device {dev} block must be a dict")
+            continue
+        for name in DEVICE_COUNTER_NAMES:
+            if name not in block:
+                problems.append(f"device {dev} missing counter {name!r}")
+            elif not isinstance(block[name], (int, float)) or block[name] < 0:
+                problems.append(f"device {dev} counter {name!r} invalid")
     if not problems and doc["elapsed_ns"] < 0:
         problems.append("elapsed_ns must be non-negative")
     return problems

@@ -41,6 +41,8 @@ __all__ = [
     "QueuePop",
     "EmptyPop",
     "QueueSteal",
+    "RemotePush",
+    "RemoteSteal",
     "GenerationStart",
     "GenerationEnd",
     "KernelLaunch",
@@ -187,6 +189,42 @@ class QueueSteal(TraceEvent):
     victim: int
     items: int
     banked: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Device-level events (multi-device runs only; never emitted when devices=1,
+# so single-device event streams — and their digests — are unchanged)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class RemotePush(TraceEvent):
+    """``items`` forwarded from device ``src`` to their owner device ``dst``.
+
+    ``t`` is the *arrival* instant at the destination deque (send time plus
+    link serialization plus latency); ``transfer_ns`` is the interconnect
+    occupancy the transfer paid, including queueing behind earlier
+    transfers on the same directed link.
+    """
+
+    src: int
+    dst: int
+    items: int
+    transfer_ns: float
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteSteal(TraceEvent):
+    """A cross-device steal: ``items`` pulled from device ``victim``'s deque.
+
+    Emitted alongside the :class:`QueueSteal` carrying the worker-level
+    thief/victim detail; this event carries the device-level routing and
+    the interconnect cost of moving the loot.
+    """
+
+    thief: int
+    victim: int
+    items: int
+    transfer_ns: float
 
 
 # ---------------------------------------------------------------------------

@@ -106,6 +106,8 @@ def run_bench(
     pre_wall_s: float | None = None,
     metrics: bool = False,
     backend: str | None = None,
+    devices: int | None = None,
+    partition: str | None = None,
 ) -> dict:
     """Run the benchmark scenario and return the report document.
 
@@ -118,6 +120,11 @@ def run_bench(
     results are bit-identical across backends, so two reports differing
     only in ``backend`` measure pure scheduler overhead (the A/B
     ``benchmarks/bench_wallclock.py`` prints).
+
+    ``devices``/``partition`` run every engine cell on a simulated
+    multi-device cluster (:class:`repro.harness.runner.Lab` rebases the
+    presets onto the distributed strategy) and are recorded in the report
+    so ``python -m repro diff`` can tag a scaling A/B.
 
     ``metrics=True`` re-runs the :data:`METRICS_CELLS` subset *outside*
     the timed region with a streaming
@@ -143,7 +150,8 @@ def run_bench(
     for rep in range(repeats):
         t0 = time.perf_counter()
         results = run_cells(
-            cells, size=size, backend=backend, workers=workers, generation=rep
+            cells, size=size, backend=backend, workers=workers, generation=rep,
+            devices=devices, partition=partition,
         )
         t1 = time.perf_counter()
         walls.append(t1 - t0)
@@ -160,6 +168,8 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "size": size,
         "backend": backend or "event",
+        "devices": devices or 1,
+        "partition": partition or "hash",
         "repeats": repeats,
         "workers": workers or 1,
         "cells": len(cells),
@@ -278,10 +288,16 @@ def validate_report(doc: dict) -> list[str]:
 
 def format_report(doc: dict) -> str:
     """Human-readable summary of a report document."""
+    devices = doc.get("devices", 1)
+    device_tag = (
+        f"  devices={devices} partition={doc.get('partition', 'hash')}"
+        if devices > 1
+        else ""
+    )
     lines = [
         f"repro.perf bench  size={doc['size']}  "
         f"backend={doc.get('backend', 'event')}  cells={doc['cells']}  "
-        f"repeats={doc['repeats']}  workers={doc.get('workers', 1)}",
+        f"repeats={doc['repeats']}  workers={doc.get('workers', 1)}{device_tag}",
         f"  wall            {doc['wall_s']:.3f} s  (all: "
         + ", ".join(f"{w:.3f}" for w in doc["wall_s_all"])
         + ")",

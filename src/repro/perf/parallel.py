@@ -76,14 +76,17 @@ def _worker_lab(
     validate: bool,
     backend: str | None,
     generation: int,
+    devices: int | None,
+    partition: str | None,
 ):
     global _WORKER_LAB, _WORKER_KEY
-    key = (size, spec, max_tasks, validate, backend, generation)
+    key = (size, spec, max_tasks, validate, backend, generation, devices, partition)
     if _WORKER_KEY != key:
         from repro.harness.runner import Lab
 
         _WORKER_LAB = Lab(
-            size=size, spec=spec, max_tasks=max_tasks, validate=validate, backend=backend
+            size=size, spec=spec, max_tasks=max_tasks, validate=validate,
+            backend=backend, devices=devices, partition=partition,
         )
         _WORKER_KEY = key
     return _WORKER_LAB
@@ -97,6 +100,8 @@ def _run_cell(
     validate: bool,
     backend: str | None,
     generation: int,
+    devices: int | None = None,
+    partition: str | None = None,
     lab=None,
 ):
     if cell.app == "__kill_worker__":
@@ -110,7 +115,9 @@ def _run_cell(
         if multiprocessing.parent_process() is not None:
             os._exit(1)
     if lab is None:
-        lab = _worker_lab(size, spec, max_tasks, validate, backend, generation)
+        lab = _worker_lab(
+            size, spec, max_tasks, validate, backend, generation, devices, partition
+        )
     return lab.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
 
 
@@ -129,6 +136,8 @@ def run_cells(
     backend: str | None = None,
     workers: int | None = None,
     generation: int = 0,
+    devices: int | None = None,
+    partition: str | None = None,
 ) -> list[AppResult | CellError]:
     """Run every cell; return results/errors in submission order.
 
@@ -150,7 +159,8 @@ def run_cells(
         from repro.harness.runner import Lab
 
         local_lab = Lab(
-            size=size, spec=spec, max_tasks=max_tasks, validate=validate, backend=backend
+            size=size, spec=spec, max_tasks=max_tasks, validate=validate,
+            backend=backend, devices=devices, partition=partition,
         )
         out: list[AppResult | CellError] = []
         for cell in cell_list:
@@ -158,7 +168,7 @@ def run_cells(
                 out.append(
                     _run_cell(
                         cell, size, spec, max_tasks, validate, backend, generation,
-                        lab=local_lab,
+                        devices, partition, lab=local_lab,
                     )
                 )
             except Exception as exc:
@@ -167,7 +177,10 @@ def run_cells(
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_run_cell, cell, size, spec, max_tasks, validate, backend, generation)
+            pool.submit(
+                _run_cell, cell, size, spec, max_tasks, validate, backend,
+                generation, devices, partition,
+            )
             for cell in cell_list
         ]
         out = []

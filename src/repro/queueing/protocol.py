@@ -55,6 +55,16 @@ class WorklistStats:
     #: ``items_pushed - banked_items`` / ``items_popped - banked_items``.
     banked_items: int = 0
 
+    # --- multi-device counters (zero on single-device worklists) ---------
+    #: pushes whose producer device differed from the item's owner device
+    remote_pushes: int = 0
+    #: items those remote pushes carried across the interconnect
+    remote_items: int = 0
+    #: successful steals whose victim deque lived on another device
+    remote_steals: int = 0
+    #: total simulated time spent occupying interconnect links
+    comm_ns: float = 0.0
+
 
 @runtime_checkable
 class Worklist(Protocol):

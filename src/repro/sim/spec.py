@@ -26,9 +26,20 @@ paper-vs-measured shapes.  The key anchors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
-__all__ = ["GpuSpec", "V100_SPEC", "FULL_V100_SPEC"]
+__all__ = [
+    "GpuSpec",
+    "V100_SPEC",
+    "FULL_V100_SPEC",
+    "InterconnectSpec",
+    "NVLINK",
+    "PCIE",
+    "INTERCONNECTS",
+    "ClusterSpec",
+    "CLUSTERS",
+    "cluster_for",
+]
 
 
 @dataclass(frozen=True)
@@ -146,3 +157,117 @@ V100_SPEC = GpuSpec()
 
 #: The unscaled 80-SM V100 shape, for machine-scaling ablations.
 FULL_V100_SPEC = GpuSpec(name="V100-model-full", num_sms=80, mem_edges_per_ns=3.5)
+
+
+# ---------------------------------------------------------------------------
+# Multi-device cluster description
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Cost model of one device-to-device link.
+
+    A transfer of ``n`` work items over a link costs ``latency_ns`` once
+    plus ``n / items_per_ns`` of serialized link occupancy; remote *data*
+    accesses (a task executing items another device owns) reserve their
+    edge traffic on the same link.  Calibration (see ``docs/MODEL.md``):
+    the constants keep the NVLink/PCIe *ratios* to device HBM bandwidth —
+    NVLink ≈ 1/3 of HBM throughput with a microsecond-class P2P latency,
+    PCIe 3.0 ≈ 1/50 with several microseconds — scaled to the same
+    edge-units-per-ns currency as :attr:`GpuSpec.mem_edges_per_ns`.
+    """
+
+    name: str = "nvlink"
+    #: payload throughput of one directed link (work items / edges per ns)
+    items_per_ns: float = 0.12
+    #: fixed per-transfer latency (also the cost of one remote steal probe)
+    latency_ns: float = 1300.0
+
+    def transfer_ns(self, items: int) -> float:
+        """Unloaded cost of moving ``items`` across one link."""
+        return self.latency_ns + items / self.items_per_ns
+
+
+#: NVLink 2.0-class link (V100 DGX topology), scaled like V100_SPEC
+NVLINK = InterconnectSpec(name="nvlink", items_per_ns=0.12, latency_ns=1300.0)
+
+#: PCIe 3.0 x16-class link: ~1/15 the NVLink bandwidth, ~4x the latency
+PCIE = InterconnectSpec(name="pcie", items_per_ns=0.008, latency_ns=5000.0)
+
+#: named interconnect presets (the ``AtosConfig.interconnect`` domain)
+INTERCONNECTS: dict[str, InterconnectSpec] = {
+    "nvlink": NVLINK,
+    "pcie": PCIE,
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N GPU devices plus the interconnect connecting them.
+
+    The devices tuple makes the cost/occupancy layers per-device: every
+    device gets its own :class:`~repro.sim.memory.BandwidthServer`, cost
+    closure and occupancy-derived worker slots, built from *its* entry
+    here.  The interconnect is all-to-all with identical directed links
+    (a DGX-style fully-connected topology); per-link serialization state
+    lives in the runtime (:class:`repro.queueing.device.DeviceWorklist`),
+    not in this frozen description.
+    """
+
+    devices: tuple[GpuSpec, ...] = field(default_factory=lambda: (V100_SPEC,))
+    interconnect: InterconnectSpec = NVLINK
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a cluster needs at least one device")
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def transfer_ns(self, items: int) -> float:
+        """Unloaded cost of one inter-device transfer of ``items``."""
+        return self.interconnect.transfer_ns(items)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_devices: int,
+        spec: GpuSpec = V100_SPEC,
+        interconnect: InterconnectSpec = NVLINK,
+        *,
+        name: str = "",
+    ) -> "ClusterSpec":
+        """N identical devices behind one interconnect preset."""
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        return cls(
+            devices=(spec,) * num_devices,
+            interconnect=interconnect,
+            name=name or f"{num_devices}x{spec.name}-{interconnect.name}",
+        )
+
+
+#: named cluster presets, shown by ``python -m repro run --list-configs``
+CLUSTERS: dict[str, ClusterSpec] = {
+    "2xV100-nvlink": ClusterSpec.homogeneous(2, V100_SPEC, NVLINK),
+    "4xV100-nvlink": ClusterSpec.homogeneous(4, V100_SPEC, NVLINK),
+    "4xV100-pcie": ClusterSpec.homogeneous(4, V100_SPEC, PCIE),
+    "8xV100-nvlink": ClusterSpec.homogeneous(8, V100_SPEC, NVLINK),
+}
+
+
+def cluster_for(
+    devices: int,
+    interconnect: str = "nvlink",
+    spec: GpuSpec = V100_SPEC,
+) -> ClusterSpec:
+    """Build the cluster a config's ``devices``/``interconnect`` fields name."""
+    try:
+        link = INTERCONNECTS[interconnect]
+    except KeyError:
+        raise KeyError(
+            f"unknown interconnect {interconnect!r}; known: {sorted(INTERCONNECTS)}"
+        ) from None
+    return ClusterSpec.homogeneous(devices, spec, link)

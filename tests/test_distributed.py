@@ -1,0 +1,142 @@
+"""Tests for the multi-device simulation (repro.core.distributed).
+
+Covers the distributed strategy end to end: oracle-validated runs on
+every dist preset, the devices=1 passthrough identity, per-device queue
+conservation under schedule perturbation, the steal/remote-push surface
+in ``AppResult.extra``, and the device dimension in metrics summaries
+and ``repro diff``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.common import run_app
+from repro.check.fuzz import fuzz_app
+from repro.core.config import CONFIGS, KernelStrategy
+from repro.graph.generators import rmat
+from repro.harness.runner import Lab
+from repro.metrics.diff import diff_summaries
+from repro.metrics.sink import DEVICE_COUNTER_NAMES
+from repro.metrics.summary import validate_summary
+
+DIST_PRESETS = ("dist-2", "dist-4", "dist-4-pcie")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, edge_factor=8, seed=3, name="rmat10").symmetrize()
+
+
+class TestDistributedRuns:
+    @pytest.mark.parametrize("preset", DIST_PRESETS)
+    @pytest.mark.parametrize("app", ("bfs", "cc", "coloring"))
+    def test_validated_run(self, graph, app, preset):
+        """Every dist preset computes correct answers under full checking.
+
+        ``validate=True`` attaches the answer oracle plus a live
+        InvariantMonitor, which reconciles per-device AND global queue
+        conservation — a silently-dropped in-flight batch fails here.
+        """
+        res = run_app(app, graph, CONFIGS[preset], validate=True)
+        cfg = CONFIGS[preset]
+        assert res.extra["devices"] == cfg.devices
+        stats = res.extra["device_stats"]
+        assert len(stats) == cfg.devices
+        # partition-routed seeding: no device sits completely idle
+        assert all(s["tasks"] > 0 for s in stats)
+        assert sum(s["items_retired"] for s in stats) > 0
+
+    def test_deterministic(self, graph):
+        a = run_app("bfs", graph, CONFIGS["dist-2"])
+        b = run_app("bfs", graph, CONFIGS["dist-2"])
+        assert a.elapsed_ns == b.elapsed_ns
+        assert np.array_equal(a.output, b.output)
+        assert a.extra["remote_pushes"] == b.extra["remote_pushes"]
+
+    def test_remote_pushes_cross_the_hash_cut(self, graph):
+        """A hash edge-cut forwards work: remote pushes must appear and
+        pay interconnect time."""
+        res = run_app("bfs", graph, CONFIGS["dist-2"])
+        assert res.extra["remote_pushes"] > 0
+        assert res.extra["remote_items"] > 0
+        assert res.extra["comm_ns"] > 0
+
+    def test_steals_fire_with_backlog(self):
+        """Contiguous partitioning keeps hub neighborhoods device-local,
+        so imbalance builds stealable backlog (the bench_multigpu story);
+        rmat13 is the smallest scale where the steal gate opens."""
+        g = rmat(13, edge_factor=16, seed=1, name="rmat13").symmetrize()
+        cfg = CONFIGS["dist-4"].with_overrides(partition="contiguous")
+        res = run_app("bfs", g, cfg, validate=True)
+        assert res.extra["remote_steals"] > 0
+
+    def test_single_device_extra_has_no_device_block(self, graph):
+        res = run_app("bfs", graph, CONFIGS["persist-CTA"])
+        assert "devices" not in res.extra
+        assert "remote_pushes" not in res.extra
+
+    def test_fuzz_clean_under_perturbation(self, graph):
+        """Schedule perturbation preserves answers and conservation on a
+        multi-device run (also pins the cluster-wide worker-slot space)."""
+        fuzz_app("bfs", graph, CONFIGS["dist-2"], seeds=2).assert_clean()
+
+
+class TestLabDeviceOverride:
+    def test_devices_one_is_passthrough(self):
+        lab = Lab(devices=1)
+        cfg = CONFIGS["persist-CTA"]
+        assert lab._effective_config(cfg) is cfg
+
+    def test_rebase_keeps_name_and_sets_strategy(self):
+        lab = Lab(devices=4, partition="contiguous")
+        cfg = lab._effective_config(CONFIGS["persist-CTA"])
+        assert cfg.name == "persist-CTA"  # cells stay comparable across ladders
+        assert cfg.strategy is KernelStrategy.DISTRIBUTED
+        assert cfg.devices == 4
+        assert cfg.partition == "contiguous"
+
+    def test_bsp_passes_through(self):
+        lab = Lab(devices=4)
+        cfg = CONFIGS["BSP"]
+        assert lab._effective_config(cfg) is cfg
+
+
+class TestDeviceMetricsSurface:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        single = Lab(size="tiny", metrics=True)
+        multi = Lab(size="tiny", metrics=True, devices=2)
+        return (
+            single.run("bfs", "roadNet-CA", "persist-CTA").extra["metrics"],
+            multi.run("bfs", "roadNet-CA", "persist-CTA").extra["metrics"],
+        )
+
+    def test_summaries_validate(self, summaries):
+        for doc in summaries:
+            assert not validate_summary(doc), validate_summary(doc)
+
+    def test_device_dimension(self, summaries):
+        single, multi = summaries
+        assert single["devices"] == {}
+        assert sorted(multi["devices"]) == ["0", "1"]
+        for block in multi["devices"].values():
+            assert set(DEVICE_COUNTER_NAMES) <= set(block)
+        # the device blocks tile the global queue traffic
+        assert sum(b["items_pushed"] for b in multi["devices"].values()) == (
+            multi["counters"]["queue_items_pushed"]
+        )
+        assert single["counters"]["remote_pushes"] == 0
+
+    def test_diff_tags_device_count_mismatch(self, summaries):
+        single, multi = summaries
+        report = diff_summaries(single, multi, base_label="a", new_label="b")
+        assert report.base_label == "a [1dev]"
+        assert report.new_label == "b [2dev]"
+        assert not report.problems, report.problems
+
+    def test_diff_same_device_count_is_clean(self, summaries):
+        _, multi = summaries
+        report = diff_summaries(multi, multi)
+        assert report.base_label == "base"  # no tag when counts match
+        assert not report.problems
+        assert not report.regressions

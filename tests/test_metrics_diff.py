@@ -25,7 +25,7 @@ from repro.metrics.baseline import (
     validate_baseline,
 )
 from repro.metrics.diff import DEFAULT_THRESHOLDS, threshold_for
-from repro.metrics.summary import write_summary
+from repro.metrics.summary import SUMMARY_SCHEMA, write_summary
 from repro.perf.bench import BENCH_SCHEMA
 
 
@@ -181,7 +181,7 @@ class TestCli:
         ])
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro.metrics/summary-v1"
+        assert doc["schema"] == SUMMARY_SCHEMA
         text = capsys.readouterr().out
         assert "task latency" in text
 

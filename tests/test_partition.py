@@ -1,0 +1,189 @@
+"""Tests for graph partitioning (repro.graph.partition).
+
+Two layers: property tests that every (kind, method, k) placement tiles
+the vertex set exactly — the invariant device routing and per-device
+conservation stand on — and quality-shape tests pinning the structural
+story the multi-device benchmark tells: meshes cut cheaply under
+locality-aware methods, scale-free graphs resist every edge-cut, and
+the degree-based vertex-cut is what tames their replication.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import from_edges
+from repro.graph.generators import grid_mesh, rmat
+from repro.graph.partition import (
+    PARTITION_KINDS,
+    PARTITION_METHODS,
+    partition_graph,
+    partition_quality,
+    resolve_partition_choice,
+)
+
+
+class TestResolveChoice:
+    def test_bare_kind_uses_greedy(self):
+        assert resolve_partition_choice("edge") == ("edge", "greedy")
+        assert resolve_partition_choice("vertex") == ("vertex", "greedy")
+
+    def test_bare_method_uses_edge_cut(self):
+        for method in PARTITION_METHODS:
+            assert resolve_partition_choice(method) == ("edge", method)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            resolve_partition_choice("metis")
+
+
+# strategy: a vertex count and an edge list over it (mirrors
+# test_property_graph's generator, kept local so the suites stay
+# independently runnable)
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=200):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+@given(
+    edge_lists(),
+    st.sampled_from(PARTITION_KINDS),
+    st.sampled_from(PARTITION_METHODS),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_tiles_vertex_set(ne, kind, method, k):
+    """Every vertex gets exactly one primary owner, whatever the cut."""
+    n, edges = ne
+    g = from_edges(n, edges)
+    p = partition_graph(g, k, kind=kind, method=method)
+    assert p.num_vertices == n
+    assert p.assignment.shape == (n,)
+    assert p.assignment.min() >= 0 and p.assignment.max() < k
+    # parts() must tile the id space: disjoint, and their union is 0..n-1
+    tiled = np.concatenate(p.parts()) if n else np.array([], dtype=np.int64)
+    assert np.array_equal(np.sort(tiled), np.arange(n))
+    if kind == "vertex":
+        assert p.edge_owner is not None
+        assert p.edge_owner.shape == (g.num_edges,)
+        if g.num_edges:
+            assert p.edge_owner.min() >= 0 and p.edge_owner.max() < k
+    else:
+        assert p.edge_owner is None
+
+
+@given(
+    edge_lists(),
+    st.sampled_from(PARTITION_KINDS),
+    st.sampled_from(PARTITION_METHODS),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_quality_invariants(ne, kind, method, k):
+    n, edges = ne
+    g = from_edges(n, edges)
+    p = partition_graph(g, k, kind=kind, method=method)
+    q = partition_quality(p, g)
+    assert 0.0 <= q.cut_fraction <= 1.0
+    assert q.replication_factor >= 1.0
+    if g.num_edges:
+        assert q.balance >= 1.0  # max load can never undershoot the mean
+    if k == 1:
+        assert q.cut_fraction == 0.0
+        assert q.replication_factor == 1.0
+
+
+def test_owner_of_matches_assignment_and_wraps():
+    g = grid_mesh(6, 6)
+    p = partition_graph(g, 3, method="contiguous")
+    ids = np.arange(g.num_vertices, dtype=np.int64)
+    assert np.array_equal(p.owner_of(ids), p.assignment)
+    # coloring pushes +-(v+1) tags: routing must be stable per item value
+    # and stay in range for abs(item) == num_vertices
+    tagged = np.array([-(5 + 1), 5 + 1, g.num_vertices], dtype=np.int64)
+    owners = p.owner_of(tagged)
+    assert owners[0] == owners[1] == p.assignment[6 % g.num_vertices]
+    assert owners[2] == p.assignment[0]
+
+
+def test_bad_arguments_raise():
+    g = grid_mesh(4, 4)
+    with pytest.raises(ValueError, match="num_parts"):
+        partition_graph(g, 0)
+    with pytest.raises(ValueError, match="kind"):
+        partition_graph(g, 2, kind="hyper")
+    with pytest.raises(ValueError, match="method"):
+        partition_graph(g, 2, method="metis")
+    other = partition_graph(grid_mesh(3, 3), 2)
+    with pytest.raises(ValueError, match="covers"):
+        partition_quality(other, g)
+
+
+class TestQualityShape:
+    """The structural claims bench_multigpu.py's table stands on."""
+
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return grid_mesh(32, 32)
+
+    @pytest.fixture(scope="class")
+    def scale_free(self):
+        return rmat(10, edge_factor=8, seed=3, name="rmat10").symmetrize()
+
+    def test_mesh_locality_beats_hash(self, mesh):
+        """Contiguous ids ARE geometry on a mesh: tiny cut vs. hash scatter."""
+        hash_q = partition_quality(partition_graph(mesh, 4, method="hash"), mesh)
+        cont_q = partition_quality(partition_graph(mesh, 4, method="contiguous"), mesh)
+        greedy_q = partition_quality(partition_graph(mesh, 4, method="greedy"), mesh)
+        assert hash_q.cut_fraction > 0.5  # ~(k-1)/k, the random baseline
+        assert cont_q.cut_fraction < 0.15
+        assert greedy_q.cut_fraction < 0.3
+        assert cont_q.cut_fraction < hash_q.cut_fraction
+        assert greedy_q.cut_fraction < hash_q.cut_fraction
+
+    def test_scale_free_resists_every_edge_cut(self, scale_free):
+        """Hubs touch everything: no placement makes the edge cut small."""
+        for method in PARTITION_METHODS:
+            q = partition_quality(
+                partition_graph(scale_free, 4, method=method), scale_free
+            )
+            assert q.cut_fraction > 0.5, method
+
+    def test_mesh_cuts_cheaper_than_scale_free(self, mesh, scale_free):
+        for method in ("contiguous", "greedy"):
+            mesh_q = partition_quality(partition_graph(mesh, 4, method=method), mesh)
+            sf_q = partition_quality(
+                partition_graph(scale_free, 4, method=method), scale_free
+            )
+            assert mesh_q.cut_fraction < sf_q.cut_fraction, method
+
+    def test_vertex_cut_tames_scale_free_replication(self, scale_free):
+        """The PowerGraph argument: split hubs instead of cutting edges."""
+        edge_hash = partition_quality(
+            partition_graph(scale_free, 4, kind="edge", method="hash"), scale_free
+        )
+        vertex_greedy = partition_quality(
+            partition_graph(scale_free, 4, kind="vertex", method="greedy"), scale_free
+        )
+        assert vertex_greedy.replication_factor < edge_hash.replication_factor
+
+    def test_balance_stays_bounded(self, mesh, scale_free):
+        for g in (mesh, scale_free):
+            for kind in PARTITION_KINDS:
+                for method in PARTITION_METHODS:
+                    q = partition_quality(
+                        partition_graph(g, 4, kind=kind, method=method), g
+                    )
+                    assert q.balance < 2.0, (g.name, kind, method)
