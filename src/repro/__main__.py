@@ -16,8 +16,10 @@ Usage::
     python -m repro run bfs road_usa --config hybrid-CTA   # one cell, summary
     python -m repro run --list-configs       # named configurations
     python -m repro run --list-apps          # registered applications
+    python -m repro run bfs-inc rmat8 --edits 3x32@7     # edit-script replay
     python -m repro check bfs rmat8 --seeds 5    # oracle + invariant + fuzz
     python -m repro check coloring grid_mesh --config hybrid-CTA
+    python -m repro check cc-inc rmat8 --edits 3x32@7    # differential replay
     python -m repro perf --size tiny             # wall-clock benchmark
     python -m repro perf --out BENCH_perf.json --repeats 3
     python -m repro metrics bfs roadNet-CA --config persist-warp --out summary.json
@@ -171,6 +173,15 @@ def _build_run_parser() -> argparse.ArgumentParser:
         help="engine inner loop (bit-identical results; default: the config's own)",
     )
     _add_device_args(parser)
+    parser.add_argument(
+        "--edits",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "replay an edit script through a dynamic app (bfs-inc/cc-inc/"
+            "pagerank-inc): EPOCHSxBATCH@SEED[dFRAC], e.g. 3x32@7 or 4x64@1d0.5"
+        ),
+    )
     parser.add_argument("--permuted", action="store_true", help="randomly permute vertex ids")
     parser.add_argument(
         "--list-configs", action="store_true", help="list named configurations and exit"
@@ -219,6 +230,10 @@ def _run_run(argv: list[str]) -> int:
         return 0
     if not args.app or not args.dataset:
         _build_run_parser().error("app and dataset are required (or use --list-*)")
+    if args.edits is not None or (
+        args.app in APP_REGISTRY and APP_REGISTRY[args.app].dynamic
+    ):
+        return _run_replay(args)
     config = variant_by_name(args.config)
     dataset = resolve_dataset(args.dataset)
     lab = Lab(
@@ -253,6 +268,55 @@ def _run_run(argv: list[str]) -> int:
     return 0
 
 
+#: default edit script for dynamic apps when ``--edits`` is omitted
+DEFAULT_EDITS = "3x32@7"
+
+
+def _run_replay(args) -> int:
+    """``repro run`` routed through the edit-replay harness.
+
+    Reached when ``--edits`` is given or the app is a dynamic adapter;
+    runs :func:`repro.apps.dynamic.replay_app` and prints one row per
+    epoch (per-epoch deltas: what each repair cost) plus replay totals.
+    """
+    from repro.apps.common import get_adapter
+    from repro.apps.dynamic import replay_app
+    from repro.core.config import variant_by_name
+
+    adapter = get_adapter(args.app)
+    if not adapter.dynamic:
+        _build_run_parser().error(
+            f"--edits needs a dynamic app (bfs-inc, cc-inc, pagerank-inc); "
+            f"{args.app!r} is static"
+        )
+    edits = args.edits or DEFAULT_EDITS
+    config = variant_by_name(args.config)
+    graph = _check_graph(args.dataset, args.size)
+    dres = replay_app(
+        args.app, graph, config, edits, backend=args.backend, validate=True,
+    )
+
+    backend_tag = f" backend={args.backend}" if args.backend else ""
+    print(
+        f"{args.app} on {graph.name} [{config.name}] edits={edits} "
+        f"size={args.size}{backend_tag}"
+    )
+    print("  epoch  +ins  -del  elapsed_ms     work  retired  dataset")
+    for e in dres.epochs:
+        r = e.result
+        ins = r.extra.get("edits_inserted", 0)
+        dele = r.extra.get("edits_deleted", 0)
+        print(
+            f"  {e.epoch:>5d} {ins:>5d} {dele:>5d} {r.elapsed_ns / 1e6:>11.3f} "
+            f"{r.work_units:>8.0f} {r.items_retired:>8d}  {r.dataset}"
+        )
+    print(
+        f"  total elapsed {dres.total_elapsed_ns / 1e6:.3f} ms  "
+        f"work {dres.total_work_units:.0f}  (all epochs oracle-validated)"
+    )
+    return 0
+
+
 def _build_check_parser() -> argparse.ArgumentParser:
     from repro.check.oracles import oracle_names
 
@@ -278,6 +342,16 @@ def _build_check_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", type=int, default=10, help="fuzzer seeds (default 10)")
     parser.add_argument(
         "--amplitude", type=float, default=200.0, help="perturbation amplitude in ns"
+    )
+    parser.add_argument(
+        "--edits",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "edit script for dynamic apps (EPOCHSxBATCH@SEED[dFRAC], e.g. "
+            f"3x32@7); implied at {DEFAULT_EDITS!r} for bfs-inc/cc-inc/"
+            "pagerank-inc, which run the differential edit-replay check"
+        ),
     )
     parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
     parser.add_argument(
@@ -321,7 +395,13 @@ def _run_check(argv: list[str]) -> int:
 
     args = _build_check_parser().parse_args(argv)
     graph = _check_graph(args.dataset, args.size)
-    bsp_only = get_adapter(args.app).make_kernel is None
+    adapter = get_adapter(args.app)
+    if args.edits is not None and not adapter.dynamic:
+        _build_check_parser().error(
+            f"--edits needs a dynamic app (bfs-inc, cc-inc, pagerank-inc); "
+            f"{args.app!r} is static"
+        )
+    bsp_only = adapter.make_kernel is None
     if args.config:
         configs = [variant_by_name(name) for name in args.config]
     elif bsp_only:
@@ -350,6 +430,8 @@ def _run_check(argv: list[str]) -> int:
             cfg if policy_for(cfg).app_level else cfg.with_overrides(**overrides)
             for cfg in configs
         ]
+    if adapter.dynamic:
+        return _check_replay(args, graph, configs)
     failures = 0
 
     print(f"check {args.app} on {graph.name} ({graph.num_vertices} vertices)")
@@ -378,6 +460,53 @@ def _run_check(argv: list[str]) -> int:
             seeds=args.seeds,
             amplitude_ns=args.amplitude,
             spec=V100_SPEC,
+        )
+        if not report.ok:
+            failures += 1
+        print(report.summary())
+    if failures:
+        print(f"check FAILED: {failures} failing cell(s)")
+        return 1
+    print("check PASSED")
+    return 0
+
+
+def _check_replay(args, graph, configs) -> int:
+    """``repro check`` for dynamic apps: the differential edit-replay.
+
+    Per engine config, one unperturbed replay (seed 0, amplitude 0 —
+    the fuzzer machinery with zero delay *is* the plain replay) checks
+    every epoch's output against the from-scratch oracle on that epoch's
+    snapshot with a cross-epoch invariant monitor attached; then the
+    first two configs get the full schedule-perturbation fuzz.
+    """
+    from repro.check.fuzz import fuzz_dynamic
+    from repro.core.policy import policy_for
+    from repro.sim.spec import V100_SPEC
+
+    edits = args.edits or DEFAULT_EDITS
+    engine_configs = [c for c in configs if not policy_for(c).app_level]
+    failures = 0
+    print(
+        f"check {args.app} on {graph.name} ({graph.num_vertices} vertices) "
+        f"edits={edits}"
+    )
+    for config in engine_configs:
+        rep = fuzz_dynamic(
+            args.app, graph, config, edits, seeds=[0], amplitude_ns=0.0,
+            spec=V100_SPEC,
+        )
+        run = rep.runs[0]
+        bad = [str(v) for v in run.violations] + [str(c) for c in run.oracle.failures]
+        status = "PASS" if not bad else "FAIL (" + "; ".join(bad[:4]) + ")"
+        if bad:
+            failures += 1
+        print(f"  {config.name:14s} differential+invariants {status}")
+
+    for config in engine_configs[:2]:
+        report = fuzz_dynamic(
+            args.app, graph, config, edits,
+            seeds=args.seeds, amplitude_ns=args.amplitude, spec=V100_SPEC,
         )
         if not report.ok:
             failures += 1

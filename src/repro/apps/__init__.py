@@ -22,7 +22,7 @@ from repro.apps.common import (
     get_adapter,
     run_app,
 )
-from repro.apps import bfs, cc, coloring, delta_sssp, kcore, mis, pagerank, sssp
+from repro.apps import bfs, cc, coloring, delta_sssp, dynamic, kcore, mis, pagerank, sssp
 
 __all__ = [
     "AppResult",
@@ -37,6 +37,7 @@ __all__ = [
     "sssp",
     "cc",
     "delta_sssp",
+    "dynamic",
     "kcore",
     "mis",
 ]

@@ -99,6 +99,12 @@ class AppAdapter:
     ``bsp`` is the app-level frontier engine for the BSP policy;
     ``tune_config`` applies app-specific resource budgets (e.g. coloring's
     Section 6.3 register/shared-memory figures) before the run.
+
+    ``dynamic`` marks incremental (multi-epoch) variants whose kernels
+    implement the ``rebase`` hook (:mod:`repro.apps.dynamic`).  They run
+    through :func:`repro.apps.dynamic.replay_app`, not a single
+    ``run_app`` call, so static enumeration surfaces — the bench matrix,
+    the all-apps oracle sweep — skip them.
     """
 
     name: str
@@ -109,6 +115,7 @@ class AppAdapter:
     extra: Callable[[Any], dict[str, Any]] | None = None
     bsp: Callable[..., "AppResult"] | None = None
     tune_config: Callable[[AtosConfig], AtosConfig] | None = None
+    dynamic: bool = False
 
 
 APP_REGISTRY: dict[str, AppAdapter] = {}

@@ -35,7 +35,7 @@ from repro.core.policy import policy_for
 from repro.graph.csr import Csr
 from repro.sim.spec import V100_SPEC, GpuSpec
 
-__all__ = ["perturbation", "FuzzRun", "FuzzReport", "fuzz_app"]
+__all__ = ["perturbation", "FuzzRun", "FuzzReport", "fuzz_app", "fuzz_dynamic"]
 
 #: default pop-delay amplitude: comparable to the persistent-mode jitter
 #: (150 ns) — large enough to reorder racing pops, small enough to stay a
@@ -205,6 +205,92 @@ def fuzz_app(
                 violations=list(monitor.violations),
                 oracle=oracle_report,
                 result=result,
+            )
+        )
+    return report
+
+
+def fuzz_dynamic(
+    app: str,
+    graph: Csr,
+    config: AtosConfig,
+    edits: Any,
+    *,
+    seeds: int | Iterable[int] = 10,
+    amplitude_ns: float = DEFAULT_AMPLITUDE_NS,
+    spec: GpuSpec = V100_SPEC,
+    max_tasks: int = 20_000_000,
+    validator: Callable[..., ValidationReport] | None = None,
+    **params: Any,
+) -> FuzzReport:
+    """Fuzz a dynamic app's whole edit replay across perturbation seeds.
+
+    The multi-epoch counterpart of :func:`fuzz_app`: each seed replays the
+    complete edit script (:func:`repro.apps.dynamic.replay_app`) under one
+    seeded perturbation, with a *single* :class:`InvariantMonitor` riding
+    the entire stream — so epoch boundaries (quiescence at every
+    :class:`~repro.obs.events.EpochMark`) and replay-summed counter
+    reconciliation are fuzzed alongside the per-epoch answers.  Every
+    epoch's output is checked by the differential oracle against that
+    epoch's materialized snapshot; one failing epoch fails the seed.
+
+    ``edits`` is an :class:`~repro.graph.delta.EditScript` or spec string.
+    Returns a :class:`FuzzReport` (one :class:`FuzzRun` per seed, whose
+    ``oracle`` report concatenates the per-epoch checks under
+    ``epochN:`` prefixes); never raises on violations — call
+    :meth:`FuzzReport.assert_clean` for the asserting form.
+    """
+    from repro.apps.dynamic import replay_app, replay_totals
+    from types import SimpleNamespace
+
+    adapter = get_adapter(app)
+    if not adapter.dynamic:
+        raise ValueError(f"app {app!r} is not dynamic; use fuzz_app for static cells")
+    policy = policy_for(config)
+    if policy.app_level:
+        raise ValueError(
+            f"config {config.name!r} runs at application level (no pops to perturb); "
+            "fuzzing requires an engine-level policy"
+        )
+    seed_list: Sequence[int] = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
+    tuned = adapter.tune_config(config) if adapter.tune_config is not None else config
+    slots, _ = _worker_slots(spec, tuned)
+    slots *= max(1, tuned.devices)
+    check = validator if validator is not None else validate
+
+    report = FuzzReport(
+        app=app, dataset=graph.name, config=config.name, amplitude_ns=amplitude_ns
+    )
+    for seed in seed_list:
+        monitor = InvariantMonitor(worker_slots=slots)
+        dres = replay_app(
+            app,
+            graph,
+            config,
+            edits,
+            spec=spec,
+            max_tasks=max_tasks,
+            sink=monitor,
+            perturb=perturbation(seed, amplitude_ns),
+            **params,
+        )
+        monitor.reconcile(SimpleNamespace(extra=replay_totals(dres.epochs)))
+        oracle_report = ValidationReport(app=app)
+        for epoch in dres.epochs:
+            per_epoch = check(app, epoch.graph, epoch.result, **params)
+            for c in per_epoch.checks:
+                oracle_report.add(f"epoch{epoch.epoch}:{c.name}", c.ok, c.detail)
+        report.runs.append(
+            FuzzRun(
+                seed=seed,
+                elapsed_ns=dres.total_elapsed_ns,
+                total_tasks=sum(
+                    int(e.result.extra.get("total_tasks", e.result.items_retired))
+                    for e in dres.epochs
+                ),
+                violations=list(monitor.violations),
+                oracle=oracle_report,
+                result=dres.final,
             )
         )
     return report

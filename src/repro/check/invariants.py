@@ -51,6 +51,7 @@ from typing import Any
 from repro.obs.events import (
     Barrier,
     EmptyPop,
+    EpochMark,
     EventSink,
     GenerationEnd,
     GenerationStart,
@@ -194,6 +195,8 @@ class InvariantMonitor:
             self.remote_items += event.items
         elif isinstance(event, RemoteSteal):
             self.counts["remote_steals"] += 1
+        elif isinstance(event, EpochMark):
+            self._on_epoch_mark(event)
         elif isinstance(event, KernelLaunch):
             self.counts["kernel_launches"] += 1
         elif isinstance(event, Barrier):
@@ -338,6 +341,59 @@ class InvariantMonitor:
         else:
             self.in_flight -= 1
         self._worker_state[ev.worker] = _IDLE
+
+    # -- epoch boundaries (dynamic-graph runs) -------------------------
+    def _on_epoch_mark(self, ev: EpochMark) -> None:
+        """An epoch boundary must be quiescent, then resets the clocks.
+
+        :class:`~repro.obs.events.EpochMark` is emitted between the
+        per-epoch engine runs of a dynamic replay.  The boundary laws:
+
+        * **no task in flight** — an item popped in one epoch and never
+          completed before the mark has leaked across the boundary;
+        * every worker slot is idle (the per-slot refinement of the same
+          rule: a slot stuck in POPPED/READING holds a leaked task);
+        * no generation bracket is open.
+
+        Each epoch then runs on a *fresh engine*: simulated time restarts
+        at 0 and queue names are reused (``{config}-gen1`` exists in every
+        epoch), so the per-queue depth/clock maps, worker clocks,
+        generation ordinals and policy-switch state are reset — carrying
+        them over would flag legal epoch-2 events against epoch-1 state.
+        Event totals and item counters are *not* reset: reconcile() for a
+        dynamic run checks the whole replay's sums.
+        """
+        self.counts["epoch_marks"] = self.counts.get("epoch_marks", 0) + 1
+        if self.in_flight != 0:
+            self._flag(
+                "epoch-boundary",
+                f"epoch {ev.epoch} begins with {self.in_flight} task(s) "
+                "in flight — items leaked across the epoch boundary",
+                ev,
+            )
+        busy = sorted(w for w, s in self._worker_state.items() if s != _IDLE)
+        if busy:
+            self._flag(
+                "epoch-boundary",
+                f"epoch {ev.epoch} begins with busy worker slot(s) {busy}",
+                ev,
+            )
+        if self._open_generation is not None:
+            self._flag(
+                "epoch-boundary",
+                f"epoch {ev.epoch} begins inside open generation "
+                f"{self._open_generation}",
+                ev,
+            )
+        self._depth.clear()
+        self._push_t.clear()
+        self._pop_t.clear()
+        self._worker_t.clear()
+        self._worker_state.clear()
+        self.in_flight = 0
+        self._last_switch = None
+        self._open_generation = None
+        self._last_generation = 0
 
     # -- policy / generation layer -------------------------------------
     def _on_policy_switch(self, ev: PolicySwitch) -> None:

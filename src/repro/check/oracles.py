@@ -389,3 +389,80 @@ def oracle_pagerank(
         f"max error {err:.3e} > bound {bound:.3e}",
     )
     return rep
+
+
+# ---------------------------------------------------------------------------
+# Incremental (dynamic-graph) variants — the differential oracle
+# ---------------------------------------------------------------------------
+#
+# The dynamic replay harness (repro.apps.dynamic.replay_app) validates the
+# incremental kernels' state after *every* epoch against the materialized
+# CSR snapshot of that epoch.  BFS and CC converge to schedule-invariant
+# fixpoints, so "incremental == from-scratch recompute" is literally the
+# static oracle's exact reference-equality check evaluated on the mutated
+# graph — the oracles delegate.  Incremental PageRank needs its own
+# residual predicate: a rebase injects *signed* residues (a deleted edge
+# withdraws rank mass), so at quiescence the recomputed residual lies in
+# [-ε, ε] rather than [0, ε]; everything else (the residual recomputation
+# from the rank vector alone, the fixpoint-distance bound) is identical.
+
+@register_oracle("bfs-inc")
+def oracle_bfs_inc(
+    graph: Csr, depth: np.ndarray, *, source: int = 0, **_: Any
+) -> ValidationReport:
+    """Incremental BFS must exactly equal from-scratch BFS on the snapshot."""
+    rep = oracle_bfs(graph, depth, source=source)
+    rep.app = "bfs-inc"
+    return rep
+
+
+@register_oracle("cc-inc")
+def oracle_cc_inc(graph: Csr, labels: np.ndarray, **_: Any) -> ValidationReport:
+    """Incremental CC must exactly equal from-scratch labels on the snapshot."""
+    rep = oracle_cc(graph, labels)
+    rep.app = "cc-inc"
+    return rep
+
+
+@register_oracle("pagerank-inc")
+def oracle_pagerank_inc(
+    graph: Csr,
+    rank: np.ndarray,
+    *,
+    lam: float | None = None,
+    epsilon: float | None = None,
+    **_: Any,
+) -> ValidationReport:
+    """Signed-residual convergence for incremental PageRank.
+
+    Same recomputed residual as :func:`oracle_pagerank`, but two-sided:
+    a rebase that deletes edges *withdraws* previously-pushed rank mass
+    as negative residue, so converged means ``|residual| <= ε``, and the
+    fixpoint-distance bound uses the same ``n·ε/(1-λ)`` envelope.
+    """
+    from repro.apps.pagerank import DEFAULT_EPSILON, DEFAULT_LAMBDA, reference_ranks
+
+    lam = DEFAULT_LAMBDA if lam is None else float(lam)
+    epsilon = DEFAULT_EPSILON if epsilon is None else float(epsilon)
+    rep = ValidationReport(app="pagerank-inc")
+    n = graph.num_vertices
+    out_deg = np.maximum(graph.out_degrees().astype(np.float64), 1.0)
+    edges = graph.edge_array()
+    contrib = np.zeros(n, dtype=np.float64)
+    np.add.at(contrib, edges[:, 1], lam * rank[edges[:, 0]] / out_deg[edges[:, 0]])
+    residual = (1.0 - lam) + contrib - rank
+    tol = 1e-8
+    worst = float(np.abs(residual).max()) if residual.size else 0.0
+    rep.add(
+        "residual-converged",
+        worst <= epsilon + tol,
+        f"max |residual| {worst:.3e} > epsilon {epsilon:.1e}",
+    )
+    bound = n * epsilon / (1.0 - lam) + tol
+    err = float(np.abs(rank - reference_ranks(graph, lam=lam)).max())
+    rep.add(
+        "close-to-fixpoint",
+        err <= bound,
+        f"max error {err:.3e} > bound {bound:.3e}",
+    )
+    return rep

@@ -87,3 +87,17 @@ class TaskKernel(Protocol):
         items (e.g. PageRank's residual scan); returning empty ends the run.
         """
         ...
+
+    # Optional hooks (duck-typed, looked up with getattr):
+    #
+    # ``generation_check(t) -> np.ndarray`` — the paper's f2 function: run
+    # by discrete-mode policies at each generation barrier; non-empty
+    # return extends the run with those items.
+    #
+    # ``rebase(graph, applied) -> None`` — dynamic-graph support
+    # (:mod:`repro.core.dynamic`): swap the kernel onto a mutated CSR
+    # snapshot and convert the effective edge changes (an
+    # :class:`~repro.graph.delta.AppliedBatch`) into repair seeds, which
+    # the *next* ``initial_items()`` call must return.  State (depths,
+    # labels, ranks) carries over — that is the point of an incremental
+    # kernel.  Only kernels implementing ``rebase`` can run multi-epoch.

@@ -246,6 +246,44 @@ class Lab:
         self._stamp_metrics(result)
         return result
 
+    def replay(
+        self,
+        app: str,
+        dataset: str,
+        config: AtosConfig | str,
+        edits: str,
+        *,
+        sink=None,
+        validate: bool | None = None,
+        perturb=None,
+        **params,
+    ):
+        """Replay an edit script through a dynamic app on a Lab dataset.
+
+        The dynamic counterpart of :meth:`run_config`: resolves the graph
+        through the Lab's dataset cache and size preset, then hands off to
+        :func:`repro.apps.dynamic.replay_app`.  Never memoised — the
+        kernel mutates across epochs, so every replay is fresh.
+        """
+        from repro.apps.dynamic import replay_app
+
+        graph = self.graph(dataset)
+        if isinstance(config, str):
+            config = CONFIGS[config]
+        return replay_app(
+            app,
+            graph,
+            self._effective_config(config),
+            edits,
+            spec=self.spec,
+            max_tasks=self.max_tasks,
+            sink=sink,
+            validate=self.validate if validate is None else validate,
+            perturb=perturb,
+            backend=self.backend,
+            **params,
+        )
+
     # ------------------------------------------------------------------
     # Table 1
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.obs.collector import Collector, TaskSpan, WorkerSummary
 from repro.obs.events import (
     Barrier,
     EmptyPop,
+    EpochMark,
     EventSink,
     GenerationEnd,
     GenerationStart,
@@ -52,6 +53,7 @@ __all__ = [
     "QueuePop",
     "EmptyPop",
     "QueueSteal",
+    "EpochMark",
     "GenerationStart",
     "GenerationEnd",
     "KernelLaunch",

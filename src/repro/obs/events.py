@@ -43,6 +43,7 @@ __all__ = [
     "QueueSteal",
     "RemotePush",
     "RemoteSteal",
+    "EpochMark",
     "GenerationStart",
     "GenerationEnd",
     "KernelLaunch",
@@ -225,6 +226,30 @@ class RemoteSteal(TraceEvent):
     victim: int
     items: int
     transfer_ns: float
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-graph events (edit-replay runs only; never emitted for a static
+# graph, so frozen-graph event streams — and their digests — are unchanged)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class EpochMark(TraceEvent):
+    """Boundary between two graph epochs of a multi-epoch (dynamic) run.
+
+    Emitted by :func:`repro.core.dynamic.run_epochs` after the epoch's
+    engine drained and **before** the next epoch's run begins — i.e. at a
+    quiescent instant: no tasks in flight, every queue empty.  ``t`` is
+    the finishing epoch's elapsed simulated time; per-epoch runs restart
+    their clocks at 0, so consumers tracking simulated time (the
+    invariant monitor's queue/worker clocks) treat this event as a clock
+    reset.  ``inserts``/``deletes`` count the *effective* edge changes of
+    the batch that produced the next epoch's graph.
+    """
+
+    epoch: int
+    inserts: int
+    deletes: int
 
 
 # ---------------------------------------------------------------------------

@@ -70,7 +70,12 @@ def bench_cells() -> list[SweepCell]:
 
     cells = []
     for app in app_names():
-        kernel_app = get_adapter(app).make_kernel is not None
+        adapter = get_adapter(app)
+        if adapter.dynamic:
+            # incremental variants run multi-epoch through replay_app
+            # (benchmarks/bench_dynamic.py), not as single static cells
+            continue
+        kernel_app = adapter.make_kernel is not None
         impls = BENCH_PRESETS if kernel_app else ("BSP",)
         for impl in impls:
             for ds in BENCH_DATASETS:

@@ -15,6 +15,14 @@ builds equal fresh builds, and mutation attempts raise.
 Keys must be hashable tuples of primitives.  Builders whose parameters
 are not hashable (e.g. a live ``numpy.random.Generator`` seed) should
 bypass the cache entirely rather than guess a key.
+
+Mutable-graph snapshots (:class:`repro.graph.delta.DeltaCsr`) must NOT
+key on generator config alone: a mutated graph built from the same
+config as its parent would alias the parent's cached arrays, and every
+later epoch would silently read epoch-0 topology.  :func:`edit_key`
+folds the edit epoch and an edit-history digest into the key, making the
+aliasing impossible by construction (regression-tested in
+``tests/test_dynamic.py``).
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from typing import Callable, Hashable
 
 from repro.graph.csr import Csr
 
-__all__ = ["cached_graph", "cache_info", "cache_clear", "CacheInfo"]
+__all__ = ["cached_graph", "cache_info", "cache_clear", "edit_key", "CacheInfo"]
 
 _CACHE: dict[Hashable, Csr] = {}
 _LOCK = Lock()
@@ -69,6 +77,20 @@ def cached_graph(key: Hashable, builder: Callable[[], Csr]) -> Csr:
         _MISSES += 1
         _CACHE[key] = built
     return built
+
+
+def edit_key(base_key: tuple, epoch: int, digest: str) -> tuple:
+    """Cache key for an edited snapshot of the graph keyed by ``base_key``.
+
+    ``epoch`` alone is not enough — two different edit scripts reach
+    epoch 2 of the same base with different topologies — so the rolling
+    edit-history ``digest`` is folded in too.  ``epoch`` stays in the key
+    for debuggability (``cache_info`` dumps are readable) and as a belt
+    against digest-construction mistakes.
+    """
+    if epoch <= 0:
+        raise ValueError(f"edit_key is for mutated snapshots; got epoch={epoch}")
+    return (*base_key, "epoch", int(epoch), str(digest))
 
 
 def cache_info() -> CacheInfo:

@@ -307,6 +307,93 @@ class TestStrictModeAndReconcile:
 
 
 # ---------------------------------------------------------------------------
+# Epoch boundaries (dynamic replays): quiescent marks, clock restarts
+# ---------------------------------------------------------------------------
+
+class TestEpochBoundaryRule:
+    """EpochMark handling: the cross-epoch laws of a dynamic replay.
+
+    Positive half: a real multi-epoch replay with the monitor riding the
+    whole stream is clean and counts one mark per edit epoch.  Negative
+    half: fabricated streams leak items, slots and generations across the
+    boundary — each must trip ``epoch-boundary``.
+    """
+
+    def test_live_replay_clean_across_epochs(self, small_rmat):
+        from repro.apps.dynamic import replay_app, replay_totals
+        from types import SimpleNamespace
+
+        g = small_rmat if small_rmat.is_symmetric() else small_rmat.symmetrize()
+        monitor = InvariantMonitor()
+        dres = replay_app(
+            "bfs-inc", g, CONFIGS["discrete-CTA"], "3x16@4", sink=monitor, source=0
+        )
+        monitor.reconcile(SimpleNamespace(extra=replay_totals(dres.epochs)))
+        assert monitor.ok, [str(v) for v in monitor.violations]
+        assert monitor.counts["epoch_marks"] == 3  # one per edit epoch
+
+    def test_item_leaked_across_boundary(self):
+        from repro.obs.events import EpochMark
+
+        m = InvariantMonitor()
+        m.emit(TaskPop(t=1.0, worker=0, items=1))  # popped, never completed
+        m.emit(EpochMark(t=2.0, epoch=1, inserts=4, deletes=2))
+        assert "epoch-boundary" in _rules(m)
+
+    def test_busy_slot_at_boundary(self):
+        from repro.obs.events import EpochMark
+
+        m = InvariantMonitor()
+        m.emit(TaskPop(t=1.0, worker=3, items=2))
+        m.emit(TaskRead(t=2.0, worker=3, items=2))
+        m.emit(EpochMark(t=3.0, epoch=1, inserts=0, deletes=1))
+        rules = _rules(m)
+        assert "epoch-boundary" in rules
+
+    def test_open_generation_at_boundary(self):
+        from repro.obs.events import EpochMark
+
+        m = InvariantMonitor()
+        m.emit(GenerationStart(t=1.0, generation=1, items=4))
+        m.emit(EpochMark(t=2.0, epoch=1, inserts=1, deletes=0))
+        assert "epoch-boundary" in _rules(m)
+
+    def test_quiescent_boundary_is_clean_and_resets_clocks(self):
+        """Epoch clocks restart at zero: pre-mark times must not leak."""
+        from repro.obs.events import EpochMark, QueuePop as QP, QueuePush as QPu
+
+        m = InvariantMonitor()
+        # epoch 0: a full task lifecycle ending quiescent, late timestamps
+        m.emit(QPu(t=1.0, queue="q-gen1", items=1, depth=1, wait_ns=0.0))
+        m.emit(QP(t=2.0, queue="q-gen1", items=1, depth=0, wait_ns=0.0))
+        m.emit(TaskPop(t=9.0, worker=0, items=1))
+        m.emit(TaskRead(t=9.5, worker=0, items=1))
+        m.emit(TaskComplete(t=10.0, worker=0, items=1, retired=1, pushed=0, work=1.0))
+        m.emit(EpochMark(t=10.0, epoch=1, inserts=2, deletes=2))
+        # epoch 1 restarts at t=0 and reuses queue names: all legal
+        m.emit(QPu(t=0.5, queue="q-gen1", items=2, depth=2, wait_ns=0.0))
+        m.emit(QP(t=1.0, queue="q-gen1", items=2, depth=0, wait_ns=0.0))
+        m.emit(TaskPop(t=1.5, worker=0, items=2))
+        assert m.ok, [str(v) for v in m.violations]
+
+    def test_epoch_totals_not_reset(self):
+        """Item counters span the replay; reconcile checks whole-run sums."""
+        from repro.obs.events import EpochMark, QueuePush as QPu
+
+        m = InvariantMonitor()
+        m.emit(QPu(t=1.0, queue="q", items=3, depth=3, wait_ns=0.0))
+        m.emit(EpochMark(t=1.0, epoch=1, inserts=0, deletes=0))
+        m.emit(QPu(t=0.5, queue="q", items=2, depth=2, wait_ns=0.0))
+        assert m.queue_items_pushed == 5
+        assert m.counts["queue_pushes"] == 2
+
+    def test_static_streams_never_see_marks(self, small_rmat):
+        monitor = InvariantMonitor()
+        run_app("bfs", small_rmat, CONFIGS["discrete-CTA"], spec=SPEC, sink=monitor)
+        assert "epoch_marks" not in monitor.counts
+
+
+# ---------------------------------------------------------------------------
 # MpmcQueue conservation equation (satellite: drain bypasses items_popped)
 # ---------------------------------------------------------------------------
 

@@ -168,6 +168,42 @@ def test_digest_matches_pre_perf_layer(lab, app, dataset, preset, backend):
 
 
 # ---------------------------------------------------------------------------
+# Dynamic-replay cells (ISSUE 8): a 2-epoch edit replay through the
+# incremental kernels, one Collector digest over the whole multi-epoch
+# stream (epoch 0 + EpochMark + repair epochs).  Captured on the event
+# backend at introduction; both backends must reproduce it byte-for-byte,
+# pinning the epoch-boundary protocol alongside the per-run streams above.
+# ---------------------------------------------------------------------------
+
+DYNAMIC_EDITS = "2x16@3"
+GOLDEN_DYNAMIC_DIGESTS = {
+    ("bfs-inc", "rmat8", "persist-CTA"):
+        "bda5484411e70bd1a18893ffeee75c47c2524147d0f84ac99af9062634deaa9d",
+    ("cc-inc", "rmat8", "persist-CTA"):
+        "8b5faad2cc911b5a89f76a30cf013e69195e52e7c67e970aeb45d1f936441c4d",
+}
+
+
+@pytest.mark.parametrize("backend", ("event", "batched"))
+@pytest.mark.parametrize("app,params", [("bfs-inc", {"source": 0}), ("cc-inc", {})])
+def test_dynamic_replay_digest_matches_golden(app, params, backend):
+    from repro.apps.dynamic import replay_app
+    from repro.graph.generators import rmat
+
+    g = rmat(8, edge_factor=6, seed=7, name="rmat8")
+    g = g if g.is_symmetric() else g.symmetrize()
+    sink = Collector()
+    replay_app(
+        app, g, CONFIGS["persist-CTA"].with_overrides(backend=backend),
+        DYNAMIC_EDITS, sink=sink, validate=True, **params,
+    )
+    assert sink.digest() == GOLDEN_DYNAMIC_DIGESTS[(app, "rmat8", "persist-CTA")], (
+        f"{app}/rmat8/persist-CTA [{backend}]: dynamic replay stream diverged "
+        "from its introduction digest"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Hybrid acceptance: within 5% of the better pure strategy on the
 # small-frontier regimes of Section 6.5
 # ---------------------------------------------------------------------------
