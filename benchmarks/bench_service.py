@@ -1,0 +1,79 @@
+"""Service load benchmark — the ``BENCH_service.json`` scenario as a bench.
+
+Boots an in-process broker, runs the 6-cell mixed-tenant job mix cold,
+then storms it with >=1000 concurrent warm clients spread over 8
+tenants, and asserts the PR's acceptance bars as hard gates:
+
+* every response digest-identical to a direct serial
+  :func:`repro.service.jobs.execute_spec` (``digest_match_ratio == 1.0``);
+* warm (content-addressed) hits at least **100x** faster than cold
+  executions;
+* a nonzero cache hit ratio under the storm.
+
+The committed repo-root ``BENCH_service.json`` is the small-size
+baseline; when present, this scenario also diffs against it through
+``repro.metrics.diff`` (calibration-normalised), exactly like the CI
+``service-smoke`` job does via ``python -m repro service-bench
+--check-against``.  Refresh the baseline with::
+
+    PYTHONPATH=src python -m repro service-bench --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.diff import diff_docs
+from repro.service.bench import (
+    format_service_report,
+    load_service_report,
+    run_service_bench,
+    validate_service_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED = REPO_ROOT / "BENCH_service.json"
+
+#: the acceptance bar: a warm hit must beat a cold execution by this much
+WARM_SPEEDUP_FLOOR = 100.0
+#: the load bar: the warm storm must be at least this many clients
+MIN_CLIENTS = 1000
+
+
+def test_service_load(benchmark, bench_size, artifact_dir, save_artifact):
+    doc = benchmark.pedantic(
+        lambda: run_service_bench(size=bench_size, clients=MIN_CLIENTS),
+        rounds=1,
+        iterations=1,
+    )
+    problems = validate_service_report(doc)
+    assert not problems, problems
+
+    assert doc["clients"] >= MIN_CLIENTS
+    assert doc["digest_match_ratio"] == 1.0, (
+        "every service response must be digest-identical to the serial reference"
+    )
+    assert doc["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm hits only {doc['warm_speedup']:.1f}x faster than cold "
+        f"(need >= {WARM_SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert doc["hit_ratio"] > 0.0
+    assert doc["throughput_rps"] > 0.0
+    assert doc["warm_ms_p50"] <= doc["warm_ms_p99"]
+    assert doc["distinct_jobs"] == 6
+
+    save_artifact("bench_service", format_service_report(doc))
+    (artifact_dir / "BENCH_service.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    if COMMITTED.exists() and doc["size"] == "small":
+        report = diff_docs(
+            load_service_report(COMMITTED),
+            doc,
+            base_label="BENCH_service.json (committed)",
+            new_label="this run",
+        )
+        save_artifact("bench_service_diff", report.format())
+        assert report.ok, report.format()

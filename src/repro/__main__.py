@@ -26,6 +26,12 @@ Usage::
     python -m repro metrics --write-baseline BENCH_metrics_baseline.json
     python -m repro diff summary.json BENCH_metrics_baseline.json
     python -m repro diff new_baseline.json BENCH_metrics_baseline.json
+    python -m repro serve --port 8321            # scheduler-as-a-service broker
+    python -m repro submit bfs roadNet-CA --config persist-CTA --port 8321
+    python -m repro submit --job '{"app":"bfs","dataset":"roadNet-CA"}' --tenant ci
+    python -m repro submit --stats --port 8321   # broker/cache health document
+    python -m repro service-bench --out BENCH_service.json
+    python -m repro diff BENCH_service.json committed/BENCH_service.json
 
 Common options: ``--size {tiny,small,default}`` (default ``small``).
 ``run``, ``check`` and ``perf`` also take ``--backend {event,batched}``
@@ -772,6 +778,241 @@ def _run_diff(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Run the scheduler-as-a-service broker: an HTTP JSON API over "
+            "the async job broker with content-addressed result caching "
+            "(POST /v1/jobs, GET /v1/stats, GET /metrics, GET /healthz)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--workers", type=int, default=4, help="broker worker count")
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-tenant queue bound; a full queue answers HTTP 429 (default 64)",
+    )
+    parser.add_argument(
+        "--cache-mb", type=int, default=256, help="result cache byte budget in MiB"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-attempt job timeout seconds"
+    )
+    parser.add_argument(
+        "--attempts", type=int, default=3, help="max executions per job (default 3)"
+    )
+    fault = parser.add_argument_group("fault injection (testing only)")
+    fault.add_argument("--fault-seed", type=int, default=0)
+    fault.add_argument("--kill-prob", type=float, default=0.0)
+    fault.add_argument("--delay-prob", type=float, default=0.0)
+    fault.add_argument("--delay-s", type=float, default=0.0)
+    fault.add_argument("--poison-prob", type=float, default=0.0)
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import Broker, BrokerConfig, FaultInjector, ServiceServer
+
+    args = _build_serve_parser().parse_args(argv)
+    config = BrokerConfig(
+        workers=args.workers,
+        tenant_queue_limit=args.queue_limit,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        job_timeout_s=args.timeout,
+        max_attempts=args.attempts,
+        faults=FaultInjector(
+            seed=args.fault_seed,
+            kill_prob=args.kill_prob,
+            delay_prob=args.delay_prob,
+            delay_s=args.delay_s,
+            poison_prob=args.poison_prob,
+        ),
+    )
+
+    async def _serve() -> int:
+        server = ServiceServer(Broker(config), host=args.host, port=args.port)
+        try:
+            port = await server.start()
+        except OSError as exc:
+            print(
+                f"serve: cannot bind {args.host}:{args.port}: "
+                f"{exc.strerror or exc} (is another server running?)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"repro service listening on http://{args.host}:{port}  "
+            f"workers={args.workers} queue-limit={args.queue_limit} "
+            f"cache={args.cache_mb}MiB",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await stop.wait()
+        print("serve: draining (finishing accepted jobs) ...", flush=True)
+        await server.stop()
+        print("serve: drained, bye")
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description=(
+            "Submit one job to a running repro service and print the result; "
+            "or fetch the service stats document with --stats."
+        ),
+    )
+    parser.add_argument("app", nargs="?", help="application name")
+    parser.add_argument("dataset", nargs="?", help="dataset name or alias")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--config", default="persist-CTA")
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument("--seed", type=int, default=0, help="schedule-perturbation seed")
+    parser.add_argument("--edits", default=None, metavar="SPEC", help="dynamic edit script")
+    parser.add_argument("--backend", default=None, choices=["event", "batched"])
+    _add_device_args(parser)
+    parser.add_argument("--permuted", action="store_true")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument(
+        "--job",
+        default=None,
+        metavar="JSON",
+        help="full job object as JSON (overrides the positional/flag spec)",
+    )
+    parser.add_argument("--stats", action="store_true", help="print service stats and exit")
+    parser.add_argument("--json", action="store_true", help="print the raw result document")
+    parser.add_argument("--timeout", type=float, default=120.0, help="client timeout seconds")
+    return parser
+
+
+def _run_submit(argv: list[str]) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+
+    parser = _build_submit_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    if args.job is not None:
+        try:
+            job = json.loads(args.job)
+        except json.JSONDecodeError as exc:
+            print(f"submit: malformed --job JSON: {exc}", file=sys.stderr)
+            return 2
+    elif not args.stats:
+        if not args.app or not args.dataset:
+            parser.error("app and dataset are required (or use --job / --stats)")
+        job = {
+            "app": args.app,
+            "dataset": args.dataset,
+            "config": args.config,
+            "size": args.size,
+        }
+        if args.seed:
+            job["seed"] = args.seed
+        for name in ("edits", "backend", "devices", "partition"):
+            value = getattr(args, name)
+            if value is not None:
+                job[name] = value
+        if args.permuted:
+            job["permuted"] = True
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        doc = client.submit(job, tenant=args.tenant)
+    except ServiceUnavailable as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    j = doc["job"]
+    tag = " (cached)" if doc["cached"] else f" attempts={doc['attempts']}"
+    print(
+        f"{j['app']} on {j['dataset']} [{j['config']}] size={j['size']}: "
+        f"digest={doc['digest']} elapsed={doc['elapsed_ms']:.3f} ms "
+        f"wall={doc['wall_ms']:.3f} ms{tag}"
+    )
+    return 0
+
+
+def _build_service_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service-bench",
+        description=(
+            "Run the service load benchmark (cold misses, then a warm "
+            "multi-tenant storm of concurrent clients against an in-process "
+            "broker) and report latency, throughput and digest-match ratio."
+        ),
+    )
+    parser.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    parser.add_argument("--clients", type=int, default=1000, help="warm-phase clients")
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="diff against a committed BENCH_service.json (exits non-zero on regression)",
+    )
+    return parser
+
+
+def _run_service_bench(argv: list[str]) -> int:
+    from repro.service.bench import (
+        format_service_report,
+        load_service_report,
+        run_service_bench,
+        validate_service_report,
+        write_service_report,
+    )
+
+    args = _build_service_bench_parser().parse_args(argv)
+    doc = run_service_bench(
+        size=args.size, clients=args.clients, tenants=args.tenants, workers=args.workers
+    )
+    problems = validate_service_report(doc)
+    print(format_service_report(doc))
+    if args.out:
+        write_service_report(doc, args.out)
+        print(f"report -> {args.out}")
+    status = 0
+    if args.check_against:
+        from repro.metrics.diff import diff_docs
+
+        report = diff_docs(
+            load_service_report(args.check_against),
+            doc,
+            base_label=args.check_against,
+            new_label="this run",
+        )
+        print(report.format())
+        if not report.ok:
+            status = 1
+    if problems:
+        print("report INVALID: " + "; ".join(problems))
+        return 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
@@ -786,6 +1027,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_metrics(argv[1:])
     if argv and argv[0] == "diff":
         return _run_diff(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return _run_submit(argv[1:])
+    if argv and argv[0] == "service-bench":
+        return _run_service_bench(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -24,7 +24,9 @@ boundaries once the live frontier falls below a watermark — see
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
 
 __all__ = [
     "KernelStrategy",
@@ -205,6 +207,37 @@ class AtosConfig:
     def with_overrides(self, **overrides) -> "AtosConfig":
         """A copy with some fields changed (sweeps, app-specific budgets)."""
         return replace(self, **overrides)
+
+    def canonical(self) -> dict:
+        """Field-by-field canonical form: JSON scalars only, sorted keys.
+
+        The content-addressing foundation for :meth:`digest`.  ``name`` is
+        excluded — it is a display label (``with_overrides`` keeps it when
+        rebasing, ``describe()`` derives another), and two configs that
+        simulate identically must digest identically regardless of what a
+        caller chose to call them.
+        """
+        out: dict = {}
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            out[f.name] = value
+        return out
+
+    def digest(self) -> str:
+        """16-hex content digest over :meth:`canonical`.
+
+        Two ``AtosConfig`` instances share a digest iff every simulated-
+        behavior field matches; the service's result cache
+        (:mod:`repro.service.cache`) keys on this, so renaming a config
+        never duplicates cache entries and changing any real knob
+        (backend, devices, watermarks, ...) never aliases them.
+        """
+        payload = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         """Short human-readable tag, e.g. ``persist-256-128``."""

@@ -169,16 +169,21 @@ class Lab:
         this Lab's memo, so a parallel sweep primes later table calls
         exactly like a serial one.
         """
-        from repro.perf.parallel import CellError, run_cells
+        from repro.perf.parallel import CellError, replay_cell, run_cells
 
         cells = list(cells)
         if not workers or workers <= 1:
             out = []
             for cell in cells:
                 try:
-                    out.append(
-                        self.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
-                    )
+                    if getattr(cell, "edits", None) is not None:
+                        # dynamic cell: replay (never memoised) instead of
+                        # run — the run memo's key has no edit script
+                        out.append(replay_cell(cell, self))
+                    else:
+                        out.append(
+                            self.run(cell.app, cell.dataset, cell.impl, permuted=cell.permuted)
+                        )
                 except Exception as exc:
                     import traceback as _tb
 
@@ -205,7 +210,11 @@ class Lab:
             partition=self.partition,
         )
         for cell, res in zip(cells, results):
-            if not isinstance(res, CellError):
+            # dynamic cells must NOT be folded into the run memo: its key
+            # (app, dataset, impl, permuted) has no edit script, so a later
+            # static run() of the same coordinates would be served the
+            # replay's final epoch (regression-pinned in tests/test_perf.py)
+            if not isinstance(res, CellError) and getattr(cell, "edits", None) is None:
                 self._results[(cell.app, cell.dataset, cell.impl, cell.permuted)] = res
         return results
 

@@ -9,7 +9,7 @@ simulated runs are deterministic, so drift in either direction beyond the
 threshold means the engine's behavior changed and the diff flags it.
 
 :func:`diff_docs` dispatches on the document schema, so one CLI
-(``python -m repro diff``) covers all three committed artifact families:
+(``python -m repro diff``) covers every committed artifact family:
 
 * two ``MetricsSummary`` docs (or a summary against the matching cell of
   a committed ``BENCH_metrics_baseline.json``);
@@ -17,7 +17,10 @@ threshold means the engine's behavior changed and the diff flags it.
   extra cell detection (the schema-drift gate CI runs);
 * two ``BENCH_perf.json`` wall-clock reports — throughput compared after
   calibration normalization, so a slower machine does not read as an
-  engine regression.
+  engine regression;
+* two ``BENCH_service.json`` service load reports — latency/throughput
+  calibration-normalized the same way, with zero tolerance on the
+  digest-match ratio (service answers must stay bit-identical).
 """
 
 from __future__ import annotations
@@ -54,6 +57,17 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     "counters.queue_items_popped": 0.02,
     # wall-clock bench metrics (BENCH_perf.json) are noisy even normalized
     "bench.*": 0.25,
+    # service load-bench metrics (BENCH_service.json): sub-millisecond hit
+    # latencies are the noisiest wall numbers we gate, so the generic gate
+    # is loose; the exact/structural numbers below get tight ones
+    "service.*": 0.50,
+    # responses must stay digest-identical to serial runs — zero tolerance
+    "service.digest_match_ratio": 0.0,
+    # hit ratio is determined by the seeded workload mix, not wall speed
+    "service.hit_ratio": 0.10,
+    # the speedup *ratio* is machine-independent; validate_service_report
+    # separately enforces the hard >= 100x acceptance floor
+    "service.warm_speedup": 0.90,
 }
 
 #: metrics where only an increase is a regression (lower is better)
@@ -66,10 +80,17 @@ _LOWER_IS_BETTER = (
     "counters.steal_items",
     "histograms.task_latency_ns.",
     "histograms.queue_wait_ns.",
+    "service.warm_ms",
+    "service.cold_ms",
 )
 
 #: metrics where only a decrease is a regression (higher is better)
-_HIGHER_IS_BETTER = ("bench.cells_per_s", "bench.sim_ns_per_wall_ms")
+_HIGHER_IS_BETTER = (
+    "bench.cells_per_s",
+    "bench.sim_ns_per_wall_ms",
+    "service.throughput_rps",
+    "service.warm_speedup",
+)
 
 
 def _polarity(metric: str) -> str:
@@ -301,6 +322,13 @@ def diff_docs(
             base, new, thresholds=thresholds, default_threshold=default_threshold,
             base_label=base_label, new_label=new_label,
         )
+    from repro.service.bench import SERVICE_BENCH_SCHEMA
+
+    if schema_a == SERVICE_BENCH_SCHEMA:
+        return _diff_service(
+            base, new, thresholds=thresholds, default_threshold=default_threshold,
+            base_label=base_label, new_label=new_label,
+        )
     report = DiffReport(base_label=base_label, new_label=new_label)
     report.problems.append(f"unknown document schema {schema_a!r}")
     return report
@@ -379,4 +407,53 @@ def _diff_bench(base, new, *, thresholds, default_threshold, base_label, new_lab
         )
         report.entries.extend(sub.entries)
         report.problems.extend(f"{key}: {p}" for p in sub.problems)
+    return report
+
+
+def _diff_service(base, new, *, thresholds, default_threshold, base_label, new_label):
+    """Service load-bench diff, calibration-normalized (BENCH_service.json).
+
+    Latencies and throughput are rescaled onto the base machine exactly
+    like ``_diff_bench``; the exact numbers — digest match ratio, hit
+    ratio, the dimensionless warm speedup — are compared raw.  Validation
+    problems from either side are structural (a committed report that
+    fails its own acceptance floor should never pass a diff).
+    """
+    from repro.service.bench import validate_service_report
+
+    report = DiffReport(base_label=base_label, new_label=new_label)
+    for label, doc in (("base", base), ("new", new)):
+        for problem in validate_service_report(doc):
+            report.problems.append(f"{label} service report invalid: {problem}")
+    if report.problems:
+        return report
+    for key in ("size", "clients", "tenants", "workers", "distinct_jobs"):
+        if base.get(key) != new.get(key):
+            report.problems.append(
+                f"service bench {key} differs: {base.get(key)!r} vs {new.get(key)!r}"
+            )
+    if report.problems:
+        return report
+    merged = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        merged.update(thresholds)
+    # slower machine => larger calibration spin and slower service alike:
+    # scale the new run's wall numbers onto the base machine before gating
+    scale = new["calibration_loop_ns"] / base["calibration_loop_ns"]
+    _compare(
+        [
+            ("service.throughput_rps", base["throughput_rps"], new["throughput_rps"] * scale),
+            ("service.warm_ms_p50", base["warm_ms_p50"], new["warm_ms_p50"] / scale),
+            ("service.warm_ms_p99", base["warm_ms_p99"], new["warm_ms_p99"] / scale),
+            ("service.cold_ms_mean", base["cold_ms_mean"], new["cold_ms_mean"] / scale),
+            ("service.warm_speedup", base["warm_speedup"], new["warm_speedup"]),
+            (
+                "service.digest_match_ratio",
+                base["digest_match_ratio"],
+                new["digest_match_ratio"],
+            ),
+            ("service.hit_ratio", base["hit_ratio"], new["hit_ratio"]),
+        ],
+        report, merged, default_threshold,
+    )
     return report

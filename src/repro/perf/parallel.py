@@ -32,17 +32,27 @@ from typing import Iterable, Sequence
 from repro.apps.common import AppResult
 from repro.sim.spec import V100_SPEC, GpuSpec
 
-__all__ = ["SweepCell", "CellError", "run_cells"]
+__all__ = ["SweepCell", "CellError", "run_cells", "replay_cell"]
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (app, dataset, impl) cell of a sweep grid."""
+    """One (app, dataset, impl) cell of a sweep grid.
+
+    ``edits`` makes the cell *dynamic*: instead of one static run, the
+    cell replays the edit script through the incremental harness
+    (:func:`repro.apps.dynamic.replay_app`) and yields the final epoch's
+    result.  Dynamic cells are deliberately excluded from every warm-Lab
+    memo — the memo key ``(app, dataset, impl, permuted)`` has no edit
+    script in it, so two dynamic cells sharing coordinates but differing
+    in ``edits`` would otherwise collide (see :func:`replay_cell`).
+    """
 
     app: str
     dataset: str
     impl: str
     permuted: bool = False
+    edits: str | None = None
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,24 @@ def _worker_lab(
     return _WORKER_LAB
 
 
+def replay_cell(cell: SweepCell, lab) -> AppResult:
+    """Run one dynamic cell: replay its edit script, return the final epoch.
+
+    Replays are never memoised (:meth:`repro.harness.runner.Lab.replay`),
+    so running one on a Lab is always safe; what is NOT safe is storing
+    the outcome in a Lab's run memo, whose key lacks the edit script.
+    Callers that fold sweep results into warm state must skip dynamic
+    cells — ``tests/test_perf.py`` pins both directions.
+    """
+    dres = lab.replay(cell.app, cell.dataset, cell.impl, cell.edits)
+    final = dres.final
+    final.extra["replay_edits"] = dres.edits
+    final.extra["replay_epochs"] = len(dres.epochs)
+    final.extra["replay_total_elapsed_ns"] = float(dres.total_elapsed_ns)
+    final.extra["replay_total_work_units"] = float(dres.total_work_units)
+    return final
+
+
 def _run_cell(
     cell: SweepCell,
     size: str,
@@ -114,6 +142,20 @@ def _run_cell(
 
         if multiprocessing.parent_process() is not None:
             os._exit(1)
+    if cell.edits is not None:
+        # dynamic cells bypass warm Labs entirely (both the pool worker's
+        # `_WORKER_LAB` and the serial path's local Lab): a fresh
+        # single-use Lab guarantees no memoised static result is served
+        # for the cell's coordinates and no warm state survives the
+        # replay.  Graph builds still come from the process-wide build
+        # cache, so the isolation costs a dict miss, not a rebuild.
+        from repro.harness.runner import Lab
+
+        fresh = Lab(
+            size=size, spec=spec, max_tasks=max_tasks, validate=validate,
+            backend=backend, devices=devices, partition=partition,
+        )
+        return replay_cell(cell, fresh)
     if lab is None:
         lab = _worker_lab(
             size, spec, max_tasks, validate, backend, generation, devices, partition

@@ -1,0 +1,427 @@
+"""The async job broker: queues, fairness, retries, and the warm path.
+
+:class:`Broker` is the scheduler-as-a-service core.  Clients ``await
+submit(spec, tenant=...)``; the broker either answers from the
+content-addressed :class:`~repro.service.cache.ResultCache` (warm path,
+microseconds), coalesces onto an identical in-flight job (single
+flight), or queues the job on its tenant's bounded deque.  A fixed pool
+of asyncio workers drains the tenant queues **round-robin** — a tenant
+submitting 1000 jobs cannot starve one submitting 2 — and executes each
+job on a thread-pool of warm Labs (:class:`~repro.service.pool.LabPool`).
+
+Robustness contract (exercised by ``tests/test_service_faults.py``):
+
+* a full tenant queue rejects synchronously with :class:`QueueFull`
+  (HTTP 429) instead of buffering unboundedly;
+* each execution attempt runs under a per-job timeout; a worker crash
+  (:class:`~repro.service.faults.WorkerKilled`) or timeout triggers a
+  bounded retry with linear backoff — determinism guarantees the retry
+  computes the *same* result, so a retried job is digest-identical to
+  an undisturbed one;
+* :meth:`drain` stops intake, finishes every accepted job, and only
+  then shuts the workers down — accepted work is never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.metrics.hist import LogHistogram
+from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
+from repro.service.faults import FaultInjector, WorkerKilled
+from repro.service.jobs import (
+    JobResult,
+    JobSpec,
+    job_key,
+    make_job_result,
+    spec_from_dict,
+    validate_spec,
+)
+from repro.service.pool import LabPool
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "BrokerClosed",
+    "QueueFull",
+    "JobFailed",
+    "ServiceStats",
+]
+
+
+class BrokerClosed(RuntimeError):
+    """Submit after :meth:`Broker.drain` started (HTTP 503)."""
+
+
+class QueueFull(RuntimeError):
+    """The tenant's queue is at its bound (HTTP 429) — back off and retry."""
+
+
+class JobFailed(RuntimeError):
+    """The job kept failing after the retry budget was spent (HTTP 500)."""
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Operating knobs; defaults suit tests and the in-process benchmark."""
+
+    workers: int = 4
+    #: per-tenant queue bound; the backpressure knob (QueueFull past it)
+    tenant_queue_limit: int = 64
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    #: per-attempt execution timeout (queue wait not included)
+    job_timeout_s: float = 60.0
+    #: total executions per job, first try included
+    max_attempts: int = 3
+    #: linear backoff: attempt k sleeps k * retry_backoff_s before retrying
+    retry_backoff_s: float = 0.02
+    faults: FaultInjector = field(default_factory=FaultInjector)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.tenant_queue_limit < 1:
+            raise ValueError("tenant_queue_limit must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time snapshot of broker + cache health (JSON-ready)."""
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    coalesced: int
+    retries: int
+    timeouts: int
+    queue_depth: int
+    peak_queue_depth: int
+    tenants: int
+    workers: int
+    draining: bool
+    cache: CacheStats
+    hit_latency_ms: dict
+    miss_latency_ms: dict
+    kills_injected: int = 0
+    delays_injected: int = 0
+    poisons_injected: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.service/stats-v1",
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "tenants": self.tenants,
+            "workers": self.workers,
+            "draining": self.draining,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "poisons_detected": self.cache.poisons_detected,
+                "entries": self.cache.entries,
+                "bytes": self.cache.bytes,
+                "max_bytes": self.cache.max_bytes,
+                "hit_ratio": self.cache.hit_ratio,
+            },
+            "hit_latency_ms": self.hit_latency_ms,
+            "miss_latency_ms": self.miss_latency_ms,
+            "faults": {
+                "kills_injected": self.kills_injected,
+                "delays_injected": self.delays_injected,
+                "poisons_injected": self.poisons_injected,
+            },
+        }
+
+
+@dataclass
+class _Job:
+    """One queued unit: the spec, its key, and the future its waiters share."""
+
+    spec: JobSpec
+    key: str
+    tenant: str
+    future: asyncio.Future  # resolves to (AppResult, attempts)
+    enqueued_at: float
+
+
+class Broker:
+    """Asyncio job broker over a warm-Lab thread pool.  See module docs."""
+
+    def __init__(self, config: BrokerConfig | None = None) -> None:
+        self.config = config or BrokerConfig()
+        self.cache = ResultCache(self.config.cache_bytes)
+        self.pool = LabPool()
+        self.faults = self.config.faults
+        self._queues: dict[str, deque[_Job]] = {}
+        self._rr: list[str] = []  # tenant scan order (insertion-stable)
+        self._rr_next = 0
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._cond: asyncio.Condition | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task] = []
+        self._draining = False
+        self._started = False
+        # counters (single-threaded: only touched on the event loop)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._coalesced = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._peak_depth = 0
+        #: service latency in ms; 1 µs resolution floor
+        self.hit_latency = LogHistogram(min_value=1e-3)
+        self.miss_latency = LogHistogram(min_value=1e-3)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the worker tasks (idempotent)."""
+        if self._started:
+            return
+        self._cond = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-svc"
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop(i))
+            for i in range(self.config.workers)
+        ]
+        self._started = True
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish accepted work, stop."""
+        if not self._started:
+            return
+        self._draining = True
+        assert self._cond is not None
+        async with self._cond:
+            self._cond.notify_all()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._started = False
+
+    async def __aenter__(self) -> "Broker":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec | dict, *, tenant: str = "default") -> JobResult:
+        """Run (or fetch) one job; resolves when its result is ready.
+
+        Raises :class:`~repro.service.jobs.JobSpecError` on a bad spec,
+        :class:`QueueFull` when the tenant is over its bound,
+        :class:`BrokerClosed` during drain, :class:`JobFailed` after the
+        retry budget.  Every path returns a result whose ``digest``
+        equals a direct serial :func:`~repro.service.jobs.execute_spec`.
+        """
+        if not self._started:
+            raise BrokerClosed("broker not started; use 'async with Broker()' or start()")
+        if self._draining:
+            raise BrokerClosed("broker is draining; not accepting new jobs")
+        if not isinstance(spec, JobSpec):
+            spec = spec_from_dict(spec)
+        validate_spec(spec)
+        self._submitted += 1
+        t0 = time.perf_counter()
+        key = job_key(spec)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            self.hit_latency.record(wall_ms)
+            return make_job_result(
+                spec, cached, cached=True, attempts=0, wall_ms=wall_ms, tenant=tenant
+            )
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # single flight: identical concurrent jobs share one execution
+            self._coalesced += 1
+            result, attempts = await asyncio.shield(inflight)
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            self.hit_latency.record(wall_ms)
+            return make_job_result(
+                spec, result, cached=True, attempts=attempts, wall_ms=wall_ms, tenant=tenant
+            )
+
+        queue = self._queues.setdefault(tenant, deque())
+        if tenant not in self._rr:
+            self._rr.append(tenant)
+        if len(queue) >= self.config.tenant_queue_limit:
+            self._rejected += 1
+            raise QueueFull(
+                f"tenant {tenant!r} queue is full "
+                f"({self.config.tenant_queue_limit} jobs); retry later"
+            )
+        job = _Job(
+            spec=spec,
+            key=key,
+            tenant=tenant,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=t0,
+        )
+        queue.append(job)
+        self._inflight[key] = job.future
+        depth = sum(len(q) for q in self._queues.values())
+        if depth > self._peak_depth:
+            self._peak_depth = depth
+        assert self._cond is not None
+        async with self._cond:
+            self._cond.notify()
+        try:
+            result, attempts = await asyncio.shield(job.future)
+        finally:
+            if self._inflight.get(key) is job.future:
+                del self._inflight[key]
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        self.miss_latency.record(wall_ms)
+        return make_job_result(
+            spec, result, cached=False, attempts=attempts, wall_ms=wall_ms, tenant=tenant
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _next_job(self) -> _Job | None:
+        """Round-robin dequeue across tenants; ``None`` means shut down."""
+        assert self._cond is not None
+        async with self._cond:
+            while True:
+                if self._rr:
+                    n = len(self._rr)
+                    for step in range(n):
+                        tenant = self._rr[(self._rr_next + step) % n]
+                        queue = self._queues[tenant]
+                        if queue:
+                            self._rr_next = (self._rr_next + step + 1) % n
+                            return queue.popleft()
+                if self._draining:
+                    return None
+                await self._cond.wait()
+
+    async def _worker_loop(self, index: int) -> None:
+        while True:
+            job = await self._next_job()
+            if job is None:
+                return
+            await self._execute(job)
+
+    def _attempt(self, spec: JobSpec):
+        """One execution attempt, run on an executor thread."""
+        self.faults.maybe_kill()
+        result = self.pool.run(spec)
+        delay = self.faults.completion_delay()
+        if delay:
+            time.sleep(delay)
+        return result
+
+    async def _execute(self, job: _Job) -> None:
+        """Drive one job through the attempt/retry loop and settle its future."""
+        loop = asyncio.get_running_loop()
+        last_error: BaseException | None = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                # a sibling worker (or earlier drain pass) beat us to it
+                if not job.future.done():
+                    job.future.set_result((cached, 0))
+                return
+            try:
+                result = await asyncio.wait_for(
+                    loop.run_in_executor(self._executor, self._attempt, job.spec),
+                    timeout=self.config.job_timeout_s,
+                )
+            except WorkerKilled as exc:
+                last_error = exc
+                if attempt < self.config.max_attempts:
+                    # retries counts re-executions actually scheduled, so a
+                    # kill on the final attempt is a failure, not a retry
+                    self._retries += 1
+                    await asyncio.sleep(self.config.retry_backoff_s * attempt)
+                continue
+            except asyncio.TimeoutError as exc:
+                # NOTE: the executor thread keeps running (Python threads
+                # cannot be killed); the broker just stops waiting for it.
+                last_error = TimeoutError(
+                    f"attempt {attempt} exceeded {self.config.job_timeout_s}s"
+                )
+                last_error.__cause__ = exc
+                self._timeouts += 1
+                if attempt < self.config.max_attempts:
+                    self._retries += 1
+                    await asyncio.sleep(self.config.retry_backoff_s * attempt)
+                continue
+            except Exception as exc:
+                # deterministic failure: retrying would fail identically
+                self._failed += 1
+                if not job.future.done():
+                    job.future.set_exception(
+                        JobFailed(f"{job.spec.describe()}: {type(exc).__name__}: {exc}")
+                    )
+                return
+            self.cache.put(job.key, result)
+            self.faults.maybe_poison(self.cache)
+            self._completed += 1
+            if not job.future.done():
+                job.future.set_result((result, attempt))
+            return
+        self._failed += 1
+        if not job.future.done():
+            job.future.set_exception(
+                JobFailed(
+                    f"{job.spec.describe()}: gave up after "
+                    f"{self.config.max_attempts} attempts: {last_error}"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            failed=self._failed,
+            rejected=self._rejected,
+            coalesced=self._coalesced,
+            retries=self._retries,
+            timeouts=self._timeouts,
+            queue_depth=self.queue_depth(),
+            peak_queue_depth=self._peak_depth,
+            tenants=len(self._queues),
+            workers=self.config.workers,
+            draining=self._draining,
+            cache=self.cache.stats(),
+            hit_latency_ms=self.hit_latency.to_dict(),
+            miss_latency_ms=self.miss_latency.to_dict(),
+            kills_injected=self.faults.kills_injected,
+            delays_injected=self.faults.delays_injected,
+            poisons_injected=self.faults.poisons_injected,
+        )

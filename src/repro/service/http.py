@@ -1,0 +1,167 @@
+"""Minimal HTTP/1.1 front end for the broker (stdlib asyncio only).
+
+Four endpoints, JSON in/out, one request per connection
+(``Connection: close`` — the client is a benchmark harness and a CLI,
+not a browser):
+
+* ``POST /v1/jobs`` — body ``{"job": {...}, "tenant": "name"}``; answers
+  the :class:`~repro.service.jobs.JobResult` document, or a JSON error
+  with the status the broker's exception maps to: 400 (bad spec), 429
+  (tenant queue full), 503 (draining), 500 (retries exhausted).
+* ``GET /v1/stats`` — the ``repro.service/stats-v1`` document.
+* ``GET /metrics`` — Prometheus text exposition
+  (:func:`~repro.service.telemetry.stats_to_prometheus`).
+* ``GET /healthz`` — ``{"ok": true}`` while accepting jobs.
+
+Deliberately hand-rolled over ``asyncio.start_server``: the container
+has no aiohttp, and the protocol surface (request line, headers,
+Content-Length body) is small enough that a framework would be the
+bigger liability.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.broker import Broker, BrokerClosed, JobFailed, QueueFull
+from repro.service.jobs import JobSpecError
+from repro.service.telemetry import stats_to_prometheus
+
+__all__ = ["ServiceServer", "serve"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of job JSON is three orders past any real spec
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceServer:
+    """One broker behind one listening socket."""
+
+    def __init__(self, broker: Broker, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.broker = broker
+        self.host = host
+        self.port = port  # 0 = ephemeral; resolved by start()
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the resolved port.
+
+        Raises ``OSError`` (EADDRINUSE) when the port is taken — the CLI
+        turns that into a one-line diagnostic rather than a traceback.
+        """
+        await self.broker.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop listening, then drain the broker (finishes accepted jobs)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.broker.drain()
+
+    async def __aenter__(self) -> "ServiceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # defensive: a handler bug must not kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode() if isinstance(payload, dict) else payload
+        ctype = "application/json" if isinstance(payload, dict) else "text/plain; version=0.0.4"
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode() + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client hung up mid-response; nothing to salvage
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict | bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {request_line!r}"}
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return 413, {"error": f"body too large ({length} bytes)"}
+        body = await reader.readexactly(length) if length else b""
+
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": not self.broker._draining}
+        if path == "/v1/stats" and method == "GET":
+            return 200, self.broker.stats().to_dict()
+        if path == "/metrics" and method == "GET":
+            return 200, stats_to_prometheus(self.broker.stats().to_dict()).encode()
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "use POST for /v1/jobs"}
+            return await self._submit(body)
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    async def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}
+        if not isinstance(doc, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        tenant = doc.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return 400, {"error": "'tenant' must be a non-empty string"}
+        job = doc.get("job")
+        if job is None:
+            return 400, {"error": "request needs a 'job' object"}
+        try:
+            result = await self.broker.submit(job, tenant=tenant)
+        except JobSpecError as exc:
+            return 400, {"error": str(exc)}
+        except QueueFull as exc:
+            return 429, {"error": str(exc)}
+        except BrokerClosed as exc:
+            return 503, {"error": str(exc)}
+        except JobFailed as exc:
+            return 500, {"error": str(exc)}
+        return 200, result.to_dict()
+
+
+async def serve(
+    broker: Broker, *, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Start a :class:`ServiceServer`; caller owns :meth:`ServiceServer.stop`."""
+    server = ServiceServer(broker, host=host, port=port)
+    await server.start()
+    return server

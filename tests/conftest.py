@@ -1,9 +1,46 @@
-"""Shared fixtures: small graphs and a fast machine spec."""
+"""Shared fixtures (small graphs, a fast machine spec) and test tiers.
+
+Two pytest tiers (documented in the README):
+
+* ``tier1`` — the fast default suite; everything not explicitly marked
+  ``slow`` is auto-tagged ``tier1`` at collection, so ``pytest`` with no
+  flags runs exactly the tier-1 net.
+* ``slow`` — heavyweight property and load tests (the >=1000-client
+  service storm, long hypothesis campaigns).  Deselected by default;
+  opt in with ``pytest --run-slow`` or ``REPRO_SLOW=1``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (property/load campaigns)",
+    )
+
+
+def _slow_enabled(config: pytest.Config) -> bool:
+    return bool(config.getoption("--run-slow") or os.environ.get("REPRO_SLOW"))
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    run_slow = _slow_enabled(config)
+    skip_slow = pytest.mark.skip(reason="slow tier: enable with --run-slow or REPRO_SLOW=1")
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+        elif not run_slow:
+            item.add_marker(skip_slow)
 
 from repro.graph.csr import Csr, from_edges
 from repro.graph.generators import (

@@ -39,3 +39,131 @@ class TestCli:
     def test_bad_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["table1", "--app", "sssp"])
+
+
+# ---------------------------------------------------------------------------
+# service CLI: repro serve / repro submit / repro service-bench
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_service():
+    """A real service on an ephemeral port, run on a background thread."""
+    import asyncio
+    import threading
+
+    from repro.service import Broker, BrokerConfig, ServiceServer
+
+    started = threading.Event()
+    box = {}
+
+    def run():
+        async def amain():
+            server = ServiceServer(Broker(BrokerConfig(workers=2)), port=0)
+            await server.start()
+            box["port"] = server.port
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            started.set()
+            await box["stop"].wait()
+            await server.stop()
+
+        asyncio.run(amain())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(20), "service failed to start"
+    yield box["port"]
+    box["loop"].call_soon_threadsafe(box["stop"].set)
+    thread.join(20)
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServiceCli:
+    def test_submit_cold_then_cached(self, live_service, capsys):
+        argv = ["submit", "bfs", "roadNet-CA", "--size", "tiny", "--port", str(live_service)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "digest=" in cold and "attempts=1" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "(cached)" in warm
+        # same content address, same answer
+        assert cold.split("digest=")[1].split()[0] == warm.split("digest=")[1].split()[0]
+
+    def test_submit_json_document(self, live_service, capsys):
+        import json
+
+        argv = [
+            "submit", "--job",
+            '{"app": "bfs", "dataset": "roadNet-CA", "size": "tiny"}',
+            "--json", "--port", str(live_service),
+        ]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["digest"] and doc["job"]["app"] == "bfs"
+
+    def test_submit_stats(self, live_service, capsys):
+        import json
+
+        assert main(["submit", "--stats", "--port", str(live_service)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.service/stats-v1"
+
+    def test_submit_dead_server_one_line_diagnostic(self, capsys):
+        port = _free_port()  # freshly released: nothing listens here
+        code = main(["submit", "bfs", "roadNet-CA", "--port", str(port)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert err.startswith("submit:") and err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_submit_malformed_job_json(self, capsys):
+        code = main(["submit", "--job", "{not json", "--port", str(_free_port())])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "malformed --job JSON" in err
+        assert "Traceback" not in err
+
+    def test_submit_unknown_app_rejected_by_server(self, live_service, capsys):
+        code = main(["submit", "nope", "roadNet-CA", "--port", str(live_service)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "unknown app" in err and err.startswith("submit:")
+        assert "Traceback" not in err
+
+    def test_submit_unknown_config_rejected_by_server(self, live_service, capsys):
+        code = main([
+            "submit", "bfs", "roadNet-CA", "--config", "warp-9000",
+            "--port", str(live_service),
+        ])
+        err = capsys.readouterr().err
+        assert code == 1 and "unknown config" in err
+
+    def test_submit_requires_a_job(self, live_service):
+        with pytest.raises(SystemExit):
+            main(["submit", "--port", str(live_service)])
+
+    def test_serve_port_conflict_one_line_diagnostic(self, live_service, capsys):
+        code = main(["serve", "--port", str(live_service)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "cannot bind" in err and "is another server running?" in err
+        assert "Traceback" not in err
+
+
+@pytest.mark.slow
+def test_service_bench_cli_small(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main([
+        "service-bench", "--size", "small", "--clients", "60",
+        "--tenants", "4", "--workers", "2", "--out", str(out),
+    ])
+    text = capsys.readouterr().out
+    assert code == 0, text
+    assert "digest match" in text and out.exists()

@@ -327,6 +327,72 @@ def test_serial_run_cells_keeps_main_process_clean():
     assert second[0].elapsed_ns == first[0].elapsed_ns
 
 
+def test_dynamic_cells_never_touch_the_run_memo():
+    """Regression: dynamic (edit-replay) cells used to fold their final
+    epoch into the Lab run memo under (app, dataset, impl, permuted) — a
+    key with no edit script — so a later static ``lab.run`` of the same
+    coordinates, or a sibling cell with a *different* edit script, was
+    silently served whichever replay happened to land first."""
+    lab = Lab(size="tiny")
+    cells = [
+        SweepCell("bfs-inc", "roadNet-CA", "persist-CTA", edits="2x16@3"),
+        SweepCell("bfs-inc", "roadNet-CA", "persist-CTA", edits="3x8@9"),
+    ]
+    out = lab.run_cells(cells, workers=2)
+    assert all(isinstance(r, AppResult) for r in out)
+    assert out[0].extra["replay_edits"] == "2x16@3"
+    assert out[1].extra["replay_edits"] == "3x8@9"
+    # epochs = the initial full run plus one incremental epoch per batch
+    assert out[0].extra["replay_epochs"] == 3
+    assert out[1].extra["replay_epochs"] == 4
+    # distinct edit scripts are distinct workloads, not one memo slot
+    assert out[0].elapsed_ns != out[1].elapsed_ns
+    # the memo must stay clean of the dynamic coordinates
+    assert ("bfs-inc", "roadNet-CA", "persist-CTA", False) not in lab._results
+
+
+def test_dynamic_cells_serial_matches_parallel():
+    cells = [
+        SweepCell("bfs-inc", "roadNet-CA", "persist-CTA", edits="2x16@3"),
+        SweepCell("pagerank-inc", "roadNet-CA", "persist-CTA", edits="2x8@5"),
+    ]
+    serial = run_cells(cells, size="tiny", workers=None)
+    parallel_out = run_cells(cells, size="tiny", workers=2)
+    for s, p in zip(serial, parallel_out):
+        assert isinstance(s, AppResult) and isinstance(p, AppResult)
+        assert s.elapsed_ns == p.elapsed_ns
+        assert np.array_equal(s.output, p.output)
+        assert s.extra["replay_edits"] == p.extra["replay_edits"]
+
+
+def test_static_run_after_dynamic_sweep_is_fresh():
+    """The observable wrong answer the leak produced: a static run after
+    a mixed sweep must equal a fresh-Lab reference, not the replay."""
+    ref = Lab(size="tiny").run("bfs", "roadNet-CA", "persist-CTA")
+    lab = Lab(size="tiny")
+    mixed = [
+        SweepCell("bfs-inc", "roadNet-CA", "persist-CTA", edits="2x16@3"),
+        SweepCell("bfs", "roadNet-CA", "persist-warp"),
+    ]
+    lab.run_cells(mixed, workers=2)
+    after = lab.run("bfs", "roadNet-CA", "persist-CTA")
+    assert after.elapsed_ns == ref.elapsed_ns
+    assert np.array_equal(after.output, ref.output)
+    # the static sibling cell, by contrast, IS folded back into the memo
+    assert ("bfs", "roadNet-CA", "persist-warp", False) in lab._results
+
+
+def test_dynamic_serial_cells_leave_no_warm_lab_behind():
+    from repro.perf import parallel
+
+    run_cells(
+        [SweepCell("bfs-inc", "roadNet-CA", "persist-CTA", edits="2x16@3")],
+        size="tiny",
+        workers=None,
+    )
+    assert parallel._WORKER_LAB is None and parallel._WORKER_KEY is None
+
+
 # ---------------------------------------------------------------------------
 # cost-closure equivalence (the engine's specialised hot path)
 # ---------------------------------------------------------------------------
