@@ -784,12 +784,25 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         description=(
             "Run the scheduler-as-a-service broker: an HTTP JSON API over "
             "the async job broker with content-addressed result caching "
-            "(POST /v1/jobs, GET /v1/stats, GET /metrics, GET /healthz)."
+            "(POST /v1/jobs, GET /v1/stats, GET /v1/timeseries, GET /v1/traces, "
+            "GET /dash, GET /metrics, GET /healthz)."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321)
     parser.add_argument("--workers", type=int, default=4, help="broker worker count")
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable span tracing (on by default; ~µs per job)",
+    )
+    parser.add_argument(
+        "--trace-events", action="store_true",
+        help="capture full engine event streams per traced job (expensive)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="retained traces before FIFO eviction (default 256)",
+    )
     parser.add_argument(
         "--queue-limit", type=int, default=64,
         help="per-tenant queue bound; a full queue answers HTTP 429 (default 64)",
@@ -825,6 +838,9 @@ def _run_serve(argv: list[str]) -> int:
         cache_bytes=args.cache_mb * 1024 * 1024,
         job_timeout_s=args.timeout,
         max_attempts=args.attempts,
+        tracing=not args.no_tracing,
+        trace_events=args.trace_events,
+        trace_capacity=args.trace_capacity,
         faults=FaultInjector(
             seed=args.fault_seed,
             kill_prob=args.kill_prob,
@@ -848,9 +864,12 @@ def _run_serve(argv: list[str]) -> int:
         print(
             f"repro service listening on http://{args.host}:{port}  "
             f"workers={args.workers} queue-limit={args.queue_limit} "
-            f"cache={args.cache_mb}MiB",
+            f"cache={args.cache_mb}MiB "
+            f"tracing={'off' if args.no_tracing else 'on'}",
             flush=True,
         )
+        if not args.no_tracing:
+            print(f"dashboard: http://{args.host}:{port}/dash", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -954,6 +973,74 @@ def _run_submit(argv: list[str]) -> int:
     return 0
 
 
+def _build_dash_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dash",
+        description=(
+            "Write a static dashboard snapshot: capture a running service's "
+            "live state (default), or render one traced engine run offline "
+            "with --app/--dataset (no service needed)."
+        ),
+    )
+    parser.add_argument(
+        "--snapshot", default="dash.html", metavar="PATH",
+        help="output HTML path (default: dash.html)",
+    )
+    live = parser.add_argument_group("live mode (capture a running service)")
+    live.add_argument("--host", default="127.0.0.1")
+    live.add_argument("--port", type=int, default=8321)
+    live.add_argument(
+        "--detail-limit", type=int, default=20,
+        help="newest traces fetched in full for offline drill-down (default 20)",
+    )
+    off = parser.add_argument_group("offline mode (render one engine run)")
+    off.add_argument("--app", default=None, help="application name (enables offline mode)")
+    off.add_argument("--dataset", default=None, help="dataset name or alias")
+    off.add_argument("--config", default="persist-CTA", help="named Atos variant")
+    off.add_argument("--size", default="small", choices=["tiny", "small", "default"])
+    return parser
+
+
+def _run_dash(argv: list[str]) -> int:
+    from repro.dash import collector_snapshot, service_snapshot, write_snapshot
+
+    parser = _build_dash_parser()
+    args = parser.parse_args(argv)
+    if args.app is not None:
+        if not args.dataset:
+            parser.error("--app needs --dataset (offline mode renders one run)")
+        from repro.core.config import variant_by_name
+        from repro.graph.datasets import resolve_dataset
+
+        config = variant_by_name(args.config)
+        dataset = resolve_dataset(args.dataset)
+        lab = Lab(size=args.size)
+        result, sink = lab.collect(args.app, dataset, config, metrics=True)
+        snapshot = collector_snapshot(sink, result, config=config.name)
+        path = write_snapshot(snapshot, args.snapshot)
+        print(
+            f"dash: {args.app} on {dataset} [{config.name}] size={args.size}: "
+            f"{len(sink.events)} events -> {path}"
+        )
+        return 0
+
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        snapshot = service_snapshot(client, detail_limit=args.detail_limit)
+    except ServiceUnavailable as exc:
+        print(f"dash: {exc}", file=sys.stderr)
+        return 1
+    path = write_snapshot(snapshot, args.snapshot)
+    traces = snapshot["traces"].get("traces", [])
+    print(
+        f"dash: captured {args.host}:{args.port} "
+        f"({len(traces)} traces, {len(snapshot['details'])} in full) -> {path}"
+    )
+    return 0
+
+
 def _build_service_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro service-bench",
@@ -1031,6 +1118,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "submit":
         return _run_submit(argv[1:])
+    if argv and argv[0] == "dash":
+        return _run_dash(argv[1:])
     if argv and argv[0] == "service-bench":
         return _run_service_bench(argv[1:])
     args = _build_parser().parse_args(argv)

@@ -1,0 +1,113 @@
+"""Wall-clock service time series feeding the live dashboard.
+
+:class:`ServiceSeries` reuses :class:`~repro.metrics.series.StrideSeries`
+— built for *simulated* nanoseconds, but the contract (fixed-stride
+grid, stride-doubling rescale, O(max_bins) memory) is axis-agnostic — on
+the broker's wall clock.  One instance lives on the broker and is bumped
+a handful of times per job (submit, complete, queue-depth change), so
+the cost is a few dict/list ops per request: negligible next to a cache
+lookup, let alone a simulation.
+
+Per-tenant series are capped at ``max_tenants`` distinct tenants;
+overflow traffic folds into the ``"…other"`` bucket so a tenant-id storm
+cannot grow the document unboundedly (the same bounded-memory stance as
+everywhere else in the telemetry stack).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.metrics.series import StrideSeries
+
+__all__ = ["TIMESERIES_SCHEMA", "ServiceSeries"]
+
+TIMESERIES_SCHEMA = "repro.dash/timeseries-v1"
+
+#: starting bin width: 250 ms of wall time (doubles as the run grows)
+_STRIDE_NS = 250e6
+_OVERFLOW = "…other"
+
+
+def _rate() -> StrideSeries:
+    return StrideSeries("rate", stride_ns=_STRIDE_NS)
+
+
+def _gauge() -> StrideSeries:
+    return StrideSeries("gauge", stride_ns=_STRIDE_NS)
+
+
+class ServiceSeries:
+    """Bounded-memory dashboard series over the broker's wall clock."""
+
+    #: global series names in render order
+    NAMES = (
+        "submitted",
+        "completed",
+        "hits",
+        "coalesced",
+        "rejected",
+        "failed",
+        "queue_depth",
+        "busy_workers",
+    )
+
+    def __init__(self, *, max_tenants: int = 16) -> None:
+        self.t0_ns = time.perf_counter_ns()
+        self.max_tenants = max_tenants
+        self.series: dict[str, StrideSeries] = {
+            "submitted": _rate(),
+            "completed": _rate(),
+            "hits": _rate(),
+            "coalesced": _rate(),
+            "rejected": _rate(),
+            "failed": _rate(),
+            "queue_depth": _gauge(),
+            "busy_workers": _gauge(),
+        }
+        self.tenants: dict[str, dict[str, StrideSeries]] = {}
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return float(time.perf_counter_ns() - self.t0_ns)
+
+    def _tenant(self, tenant: str) -> dict[str, StrideSeries]:
+        block = self.tenants.get(tenant)
+        if block is None:
+            if len(self.tenants) >= self.max_tenants:
+                tenant = _OVERFLOW
+                block = self.tenants.get(tenant)
+                if block is None:
+                    block = self.tenants[tenant] = {
+                        "submitted": _rate(), "completed": _rate()
+                    }
+            else:
+                block = self.tenants[tenant] = {
+                    "submitted": _rate(), "completed": _rate()
+                }
+        return block
+
+    # ------------------------------------------------------------------
+    def mark(self, name: str, n: float = 1.0) -> None:
+        """Bump one of the global rate series at wall-now."""
+        self.series[name].add(self._now(), n)
+
+    def mark_tenant(self, tenant: str, name: str, n: float = 1.0) -> None:
+        """Bump a per-tenant rate (``submitted`` / ``completed``)."""
+        self._tenant(tenant)[name].add(self._now(), n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a gauge (``queue_depth`` / ``busy_workers``) at wall-now."""
+        self.series[name].observe(self._now(), value)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "wall_s": self._now() / 1e9,
+            "series": {name: s.to_dict() for name, s in self.series.items()},
+            "tenants": {
+                tenant: {name: s.to_dict() for name, s in block.items()}
+                for tenant, block in sorted(self.tenants.items())
+            },
+        }

@@ -255,6 +255,34 @@ class Lab:
         self._stamp_metrics(result)
         return result
 
+    def collect(
+        self,
+        app: str,
+        dataset: str,
+        config: AtosConfig | str,
+        *,
+        permuted: bool = False,
+        metrics=None,
+        trace_id: str | None = None,
+    ):
+        """Run one cell with a fresh :class:`~repro.obs.Collector` attached.
+
+        The observability entry point the ``trace`` and ``dash`` CLI
+        commands (and the service's event-capture mode) share: returns
+        ``(result, collector)`` from a never-memoised execution, so the
+        collector saw every event of exactly this run.  ``trace_id``
+        stamps the collector for correlation with a service trace.
+        """
+        from repro.obs.collector import Collector
+
+        if isinstance(config, str):
+            config = CONFIGS[config]
+        collector = Collector(trace_id=trace_id)
+        result = self.run_config(
+            app, dataset, config, permuted=permuted, sink=collector, metrics=metrics
+        )
+        return result, collector
+
     def replay(
         self,
         app: str,

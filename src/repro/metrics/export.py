@@ -10,6 +10,7 @@ diffable artifacts like the Chrome traces.
 from __future__ import annotations
 
 import json
+import math
 
 from repro.metrics.sink import COUNTER_NAMES, HISTOGRAM_NAMES, SERIES_NAMES
 
@@ -136,8 +137,18 @@ def series_csv(doc: dict) -> str:
 
 
 def _spark(values: list[float], width: int = 60) -> str:
+    """Unicode sparkline, hardened for degenerate series.
+
+    The scale runs 0..peak (not min..max): negative samples clamp to the
+    baseline rather than index-wrapping into the tallest block, non-finite
+    samples count as zero, and an empty / all-zero / all-negative series
+    renders a placeholder or a flat baseline instead of raising.  A
+    constant positive series is everywhere at its own peak, so it renders
+    full-height — the peak label alongside carries the magnitude.
+    """
     if not values:
         return "(no data)"
+    values = [v if math.isfinite(v) else 0.0 for v in values]
     if len(values) > width:  # re-bin to display width by max (peaks matter)
         binned = []
         for i in range(width):
@@ -148,9 +159,9 @@ def _spark(values: list[float], width: int = 60) -> str:
     peak = max(values)
     if peak <= 0:
         return _SPARK_BLOCKS[0] * len(values)
+    top = len(_SPARK_BLOCKS) - 1
     return "".join(
-        _SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1, int(v / peak * (len(_SPARK_BLOCKS) - 1)))]
-        for v in values
+        _SPARK_BLOCKS[min(top, max(0, int(v / peak * top)))] for v in values
     )
 
 

@@ -59,10 +59,17 @@ class WorkerSummary:
 
 
 class Collector:
-    """Append-only event sink with derived timelines and metrics."""
+    """Append-only event sink with derived timelines and metrics.
 
-    def __init__(self) -> None:
+    ``trace_id`` optionally names the owning service trace
+    (:mod:`repro.dash.trace`).  It lives on the collector — never on the
+    events — so correlation costs nothing on the digest-pinned stream:
+    event reprs stay byte-identical whether or not a trace owns the run.
+    """
+
+    def __init__(self, *, trace_id: str | None = None) -> None:
         self.events: list[TraceEvent] = []
+        self.trace_id = trace_id
 
     # ------------------------------------------------------------------
     def emit(self, event: TraceEvent) -> None:

@@ -51,6 +51,7 @@ __all__ = [
     "PolicySwitch",
     "EventSink",
     "MultiSink",
+    "CallbackSink",
 ]
 
 
@@ -297,3 +298,22 @@ class MultiSink:
     def emit(self, event: TraceEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+
+class CallbackSink:
+    """Adapt a plain callable into an :class:`EventSink`.
+
+    For one-off observers (the service tracer's epoch-boundary wall
+    stamps, ad-hoc debugging) that don't warrant a class.  Like every
+    sink it is passive: attaching it cannot change simulated results,
+    only wall cost — so it still obeys the "disabled means absent" rule
+    and should only be attached when its stream is actually consumed.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self.fn(event)

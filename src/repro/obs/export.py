@@ -53,8 +53,17 @@ def _us(t_ns: float) -> float:
     return t_ns / 1e3
 
 
-def to_chrome_trace(collector: Collector, *, process_name: str = "repro") -> dict:
-    """Render the collected events as a Chrome trace-event document."""
+def to_chrome_trace(
+    collector: Collector, *, process_name: str = "repro", trace_id: str | None = None
+) -> dict:
+    """Render the collected events as a Chrome trace-event document.
+
+    ``trace_id`` (explicit, or inherited from ``collector.trace_id``)
+    stamps the owning service trace into ``otherData`` so a per-job
+    engine trace can be joined with its broker spans
+    (:func:`repro.dash.trace.trace_to_chrome`) without touching the
+    digest-pinned event stream itself.
+    """
     trace: list[dict[str, Any]] = []
     queue_tids: dict[str, int] = {}
 
@@ -220,10 +229,15 @@ def to_chrome_trace(collector: Collector, *, process_name: str = "repro") -> dic
             }
         )
 
+    other: dict[str, Any] = {"digest": collector.digest(), "events": len(collector.events)}
+    if trace_id is None:
+        trace_id = getattr(collector, "trace_id", None)
+    if trace_id is not None:
+        other["trace_id"] = trace_id
     return {
         "traceEvents": trace,
         "displayTimeUnit": "ms",
-        "otherData": {"digest": collector.digest(), "events": len(collector.events)},
+        "otherData": other,
     }
 
 

@@ -162,6 +162,10 @@ def run_service_bench(
         "workers": workers,
         "distinct_jobs": len(specs),
         "job_mix": [dict(doc) for doc in job_mix],
+        # span tracing is on by default in BrokerConfig; recorded so the
+        # committed baseline pins the <5% overhead claim (diff's service.*
+        # threshold catches a tracing-induced throughput regression)
+        "tracing": BrokerConfig().tracing,
         "t_start": t_start,
         "t_end": t_end,
         "calibration_loop_ns": calib_ns,

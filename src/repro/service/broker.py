@@ -30,7 +30,12 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.dash.timeseries import ServiceSeries
+from repro.dash.trace import EpochWallSink, Trace, Tracer
 from repro.metrics.hist import LogHistogram
+from repro.obs.collector import Collector
+from repro.obs.events import MultiSink
+from repro.obs.export import to_chrome_trace
 from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
 from repro.service.faults import FaultInjector, WorkerKilled
 from repro.service.jobs import (
@@ -80,6 +85,16 @@ class BrokerConfig:
     #: linear backoff: attempt k sleeps k * retry_backoff_s before retrying
     retry_backoff_s: float = 0.02
     faults: FaultInjector = field(default_factory=FaultInjector)
+    #: span tracing (queue-wait / cache / attempt / engine spans per job);
+    #: on by default — the overhead is a few µs per job, gated <5% by the
+    #: committed BENCH_service.json throughput diff
+    tracing: bool = True
+    #: additionally capture the engine's obs event stream per traced job
+    #: (merged Chrome export, per-epoch spans).  Off by default: attaching
+    #: a sink makes the engine construct event objects on the hot path.
+    trace_events: bool = False
+    #: finished traces retained in memory (FIFO eviction past this)
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -88,6 +103,8 @@ class BrokerConfig:
             raise ValueError("tenant_queue_limit must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -112,6 +129,9 @@ class ServiceStats:
     kills_injected: int = 0
     delays_injected: int = 0
     poisons_injected: int = 0
+    #: {tenant: {submitted, completed, rejected, queue_depth}} — the
+    #: per-tenant fairness/backpressure view (additive to stats-v1)
+    per_tenant: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -145,6 +165,7 @@ class ServiceStats:
                 "delays_injected": self.delays_injected,
                 "poisons_injected": self.poisons_injected,
             },
+            "per_tenant": self.per_tenant,
         }
 
 
@@ -157,6 +178,8 @@ class _Job:
     tenant: str
     future: asyncio.Future  # resolves to (AppResult, attempts)
     enqueued_at: float
+    enqueued_ns: int = 0
+    trace: Trace | None = None
 
 
 class Broker:
@@ -171,6 +194,7 @@ class Broker:
         self._rr: list[str] = []  # tenant scan order (insertion-stable)
         self._rr_next = 0
         self._inflight: dict[str, asyncio.Future] = {}
+        self._inflight_jobs: dict[str, _Job] = {}
         self._cond: asyncio.Condition | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._workers: list[asyncio.Task] = []
@@ -185,9 +209,23 @@ class Broker:
         self._retries = 0
         self._timeouts = 0
         self._peak_depth = 0
+        self._busy = 0
+        #: per-tenant counters for the {tenant="..."} telemetry labels
+        self._tenant_counts: dict[str, dict[str, int]] = {}
         #: service latency in ms; 1 µs resolution floor
         self.hit_latency = LogHistogram(min_value=1e-3)
         self.miss_latency = LogHistogram(min_value=1e-3)
+        #: wall-clock dashboard series (always on; a few list ops per job)
+        self.series = ServiceSeries()
+        #: span tracer, or None when the config disables tracing
+        self.tracer: Tracer | None = (
+            Tracer(
+                capacity=self.config.trace_capacity,
+                capture_events=self.config.trace_events,
+            )
+            if self.config.tracing
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -246,26 +284,59 @@ class Broker:
             spec = spec_from_dict(spec)
         validate_spec(spec)
         self._submitted += 1
-        t0 = time.perf_counter()
+        self._bump(tenant, "submitted")
+        t0_ns = time.perf_counter_ns()
+        t0 = t0_ns / 1e9  # perf_counter() and perf_counter_ns() share a clock
+        trace: Trace | None = None
+        if self.tracer is not None:
+            trace = self.tracer.start(job=spec.describe(), key="", tenant=tenant)
+            trace.root.start_ns = t0_ns  # root covers key derivation too
+        key_span = trace.start_span("job.key") if trace is not None else None
         key = job_key(spec)
+        if trace is not None:
+            trace.end_span(key_span)
+            trace.key = key[:16]
+        self.series.mark("submitted")
+        self.series.mark_tenant(tenant, "submitted")
 
+        lookup = trace.start_span("cache.lookup") if trace is not None else None
         cached = self.cache.get(key)
+        if lookup is not None:
+            trace.end_span(lookup, hit=cached is not None)
         if cached is not None:
             wall_ms = (time.perf_counter() - t0) * 1e3
             self.hit_latency.record(wall_ms)
+            self.series.mark("hits")
+            self.series.mark_tenant(tenant, "completed")
+            self._bump(tenant, "completed")
             return make_job_result(
-                spec, cached, cached=True, attempts=0, wall_ms=wall_ms, tenant=tenant
+                spec, cached, cached=True, attempts=0, wall_ms=wall_ms, tenant=tenant,
+                trace_id=self._finish_trace(trace, "hit"),
             )
 
         inflight = self._inflight.get(key)
         if inflight is not None:
             # single flight: identical concurrent jobs share one execution
             self._coalesced += 1
+            self.series.mark("coalesced")
+            leader = self._inflight_jobs.get(key)
+            wait_span = trace.start_span("coalesce.wait") if trace is not None else None
             result, attempts = await asyncio.shield(inflight)
+            if wait_span is not None:
+                trace.end_span(wait_span)
             wall_ms = (time.perf_counter() - t0) * 1e3
             self.hit_latency.record(wall_ms)
+            self.series.mark_tenant(tenant, "completed")
+            self._bump(tenant, "completed")
+            if trace is not None and leader is not None and leader.trace is not None:
+                # the share: this trace references the leader's engine span
+                engine = leader.trace.find_span("engine")
+                trace.root.attrs["shared_trace_id"] = leader.trace.trace_id
+                if engine is not None:
+                    trace.root.attrs["engine_span_id"] = engine.span_id
             return make_job_result(
-                spec, result, cached=True, attempts=attempts, wall_ms=wall_ms, tenant=tenant
+                spec, result, cached=True, attempts=attempts, wall_ms=wall_ms,
+                tenant=tenant, trace_id=self._finish_trace(trace, "coalesced"),
             )
 
         queue = self._queues.setdefault(tenant, deque())
@@ -273,6 +344,9 @@ class Broker:
             self._rr.append(tenant)
         if len(queue) >= self.config.tenant_queue_limit:
             self._rejected += 1
+            self._bump(tenant, "rejected")
+            self.series.mark("rejected")
+            self._finish_trace(trace, "rejected", error="tenant queue full")
             raise QueueFull(
                 f"tenant {tenant!r} queue is full "
                 f"({self.config.tenant_queue_limit} jobs); retry later"
@@ -283,25 +357,57 @@ class Broker:
             tenant=tenant,
             future=asyncio.get_running_loop().create_future(),
             enqueued_at=t0,
+            enqueued_ns=time.perf_counter_ns(),
+            trace=trace,
         )
         queue.append(job)
         self._inflight[key] = job.future
+        self._inflight_jobs[key] = job
         depth = sum(len(q) for q in self._queues.values())
         if depth > self._peak_depth:
             self._peak_depth = depth
+        self.series.gauge("queue_depth", depth)
         assert self._cond is not None
         async with self._cond:
             self._cond.notify()
         try:
             result, attempts = await asyncio.shield(job.future)
+        except BaseException:
+            self._finish_trace(trace, "failed")
+            raise
         finally:
             if self._inflight.get(key) is job.future:
                 del self._inflight[key]
+            if self._inflight_jobs.get(key) is job:
+                del self._inflight_jobs[key]
         wall_ms = (time.perf_counter() - t0) * 1e3
         self.miss_latency.record(wall_ms)
+        self.series.mark("completed")
+        self.series.mark_tenant(tenant, "completed")
+        self._bump(tenant, "completed")
         return make_job_result(
-            spec, result, cached=False, attempts=attempts, wall_ms=wall_ms, tenant=tenant
+            spec, result, cached=False, attempts=attempts, wall_ms=wall_ms, tenant=tenant,
+            trace_id=self._finish_trace(trace, "miss", attempts=attempts),
         )
+
+    # ------------------------------------------------------------------
+    # Tracing / accounting helpers
+    # ------------------------------------------------------------------
+    def _bump(self, tenant: str, name: str) -> None:
+        counts = self._tenant_counts.get(tenant)
+        if counts is None:
+            counts = self._tenant_counts[tenant] = {
+                "submitted": 0, "completed": 0, "rejected": 0
+            }
+        counts[name] += 1
+
+    def _finish_trace(self, trace: Trace | None, outcome: str, **attrs) -> str | None:
+        """Close and retain ``trace``; returns its id (None when untraced)."""
+        if trace is None:
+            return None
+        assert self.tracer is not None
+        self.tracer.finish(trace, outcome=outcome, **attrs)
+        return trace.trace_id
 
     # ------------------------------------------------------------------
     # Workers
@@ -328,20 +434,65 @@ class Broker:
             job = await self._next_job()
             if job is None:
                 return
-            await self._execute(job)
+            await self._execute(job, index)
 
-    def _attempt(self, spec: JobSpec):
-        """One execution attempt, run on an executor thread."""
+    def _attempt(self, spec: JobSpec, trace: Trace | None = None, attempt_span=None):
+        """One execution attempt, run on an executor thread.
+
+        When tracing, the engine span is measured *here* — tight around
+        the actual Lab execution, on the thread that ran it — and lands
+        in the trace through its append lock.  With event capture on,
+        the run also gets a per-job :class:`Collector` (tagged with the
+        trace id) plus an :class:`EpochWallSink` whose epoch marks become
+        child spans of the engine span for dynamic jobs.
+        """
         self.faults.maybe_kill()
-        result = self.pool.run(spec)
+        sink = collector = epoch_sink = None
+        if trace is not None and self.config.trace_events:
+            collector = Collector(trace_id=trace.trace_id)
+            epoch_sink = EpochWallSink()
+            sink = MultiSink(collector, epoch_sink)
+        e0 = time.perf_counter_ns()
+        result = self.pool.run(spec, sink=sink)
+        e1 = time.perf_counter_ns()
+        if trace is not None:
+            parent_id = attempt_span.span_id if attempt_span is not None else "root"
+            attrs = dict(attempt_span.attrs) if attempt_span is not None else {}
+            engine = trace.add_span(
+                "engine", start_ns=e0, end_ns=e1, parent_id=parent_id, attrs=attrs
+            )
+            if collector is not None:
+                trace.engine_doc = to_chrome_trace(
+                    collector, process_name=f"engine {spec.app}"
+                )
+                for name, s0, s1 in epoch_sink.epoch_spans():
+                    trace.add_span(name, start_ns=s0, end_ns=s1, parent_id=engine.span_id)
         delay = self.faults.completion_delay()
         if delay:
             time.sleep(delay)
         return result
 
-    async def _execute(self, job: _Job) -> None:
+    async def _execute(self, job: _Job, worker: int = 0) -> None:
         """Drive one job through the attempt/retry loop and settle its future."""
         loop = asyncio.get_running_loop()
+        trace = job.trace
+        if trace is not None:
+            trace.add_span(
+                "queue.wait",
+                start_ns=job.enqueued_ns,
+                end_ns=time.perf_counter_ns(),
+                attrs={"worker": worker},
+            )
+        self._busy += 1
+        self.series.gauge("busy_workers", self._busy)
+        self.series.gauge("queue_depth", self.queue_depth())
+        try:
+            await self._run_attempts(job, worker, loop, trace)
+        finally:
+            self._busy -= 1
+            self.series.gauge("busy_workers", self._busy)
+
+    async def _run_attempts(self, job: _Job, worker: int, loop, trace: Trace | None) -> None:
         last_error: BaseException | None = None
         for attempt in range(1, self.config.max_attempts + 1):
             cached = self.cache.get(job.key)
@@ -350,13 +501,23 @@ class Broker:
                 if not job.future.done():
                     job.future.set_result((cached, 0))
                 return
+            attempt_span = None
+            if trace is not None:
+                attempt_span = trace.start_span("attempt")
+                attempt_span.attrs.update(attempt=attempt, worker=worker)
             try:
                 result = await asyncio.wait_for(
-                    loop.run_in_executor(self._executor, self._attempt, job.spec),
+                    loop.run_in_executor(
+                        self._executor, self._attempt, job.spec, trace, attempt_span
+                    ),
                     timeout=self.config.job_timeout_s,
                 )
             except WorkerKilled as exc:
                 last_error = exc
+                if trace is not None:
+                    trace.end_span(
+                        attempt_span, status="error", error=f"WorkerKilled: {exc}"
+                    )
                 if attempt < self.config.max_attempts:
                     # retries counts re-executions actually scheduled, so a
                     # kill on the final attempt is a failure, not a retry
@@ -371,6 +532,8 @@ class Broker:
                 )
                 last_error.__cause__ = exc
                 self._timeouts += 1
+                if trace is not None:
+                    trace.end_span(attempt_span, status="error", error=str(last_error))
                 if attempt < self.config.max_attempts:
                     self._retries += 1
                     await asyncio.sleep(self.config.retry_backoff_s * attempt)
@@ -378,11 +541,19 @@ class Broker:
             except Exception as exc:
                 # deterministic failure: retrying would fail identically
                 self._failed += 1
+                self.series.mark("failed")
+                if trace is not None:
+                    trace.end_span(
+                        attempt_span, status="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 if not job.future.done():
                     job.future.set_exception(
                         JobFailed(f"{job.spec.describe()}: {type(exc).__name__}: {exc}")
                     )
                 return
+            if trace is not None:
+                trace.end_span(attempt_span)
             self.cache.put(job.key, result)
             self.faults.maybe_poison(self.cache)
             self._completed += 1
@@ -390,6 +561,7 @@ class Broker:
                 job.future.set_result((result, attempt))
             return
         self._failed += 1
+        self.series.mark("failed")
         if not job.future.done():
             job.future.set_exception(
                 JobFailed(
@@ -403,6 +575,28 @@ class Broker:
     # ------------------------------------------------------------------
     def queue_depth(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    def timeseries(self) -> dict:
+        """The ``/v1/timeseries`` document: dashboard series + stats."""
+        doc = self.series.to_dict()
+        doc["tracing"] = self.tracer is not None
+        doc["stats"] = self.stats().to_dict()
+        return doc
+
+    def traces_doc(self, *, limit: int = 100) -> dict:
+        """The ``/v1/traces`` document: recent trace summaries."""
+        return {
+            "schema": "repro.dash/traces-v1",
+            "tracing": self.tracer is not None,
+            "traces": self.tracer.summaries(limit=limit) if self.tracer else [],
+        }
+
+    def trace_doc(self, trace_id: str) -> dict | None:
+        """One full trace document, or None (unknown id / tracing off)."""
+        if self.tracer is None:
+            return None
+        trace = self.tracer.get(trace_id)
+        return trace.to_dict() if trace is not None else None
 
     def stats(self) -> ServiceStats:
         return ServiceStats(
@@ -424,4 +618,11 @@ class Broker:
             kills_injected=self.faults.kills_injected,
             delays_injected=self.faults.delays_injected,
             poisons_injected=self.faults.poisons_injected,
+            per_tenant={
+                tenant: {
+                    **counts,
+                    "queue_depth": len(self._queues.get(tenant, ())),
+                }
+                for tenant, counts in sorted(self._tenant_counts.items())
+            },
         )

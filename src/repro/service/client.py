@@ -78,6 +78,23 @@ class ServiceClient:
         """Prometheus text exposition of the broker's stats."""
         return self._request("GET", "/metrics")
 
+    def timeseries(self) -> dict:
+        """The ``repro.dash/timeseries-v1`` document (dashboard strips)."""
+        return self._request("GET", "/v1/timeseries")
+
+    def traces(self) -> dict:
+        """Recent trace summaries, newest first."""
+        return self._request("GET", "/v1/traces")
+
+    def trace(self, trace_id: str, *, chrome: bool = False) -> dict:
+        """One full trace; ``chrome=True`` fetches the merged Chrome doc."""
+        suffix = "?format=chrome" if chrome else ""
+        return self._request("GET", f"/v1/traces/{trace_id}{suffix}")
+
+    def dash_html(self) -> str:
+        """The live dashboard page, as served at ``GET /dash``."""
+        return self._request("GET", "/dash")
+
     def health(self) -> bool:
         """True while the server accepts jobs."""
         doc = self._request("GET", "/healthz")

@@ -322,13 +322,19 @@ def result_digest(result: AppResult) -> str:
     return h.hexdigest()[:16]
 
 
-def execute_spec(spec: JobSpec, lab=None) -> AppResult:
+def execute_spec(spec: JobSpec, lab=None, *, sink=None) -> AppResult:
     """Run one job to completion and return its :class:`AppResult`.
 
     The single execution path shared by the broker's worker pool and the
     serial verification harness.  ``lab`` supplies warm state (graph and
     result memos); ``None`` builds a fresh one — semantics are identical
     either way because every run is deterministic.
+
+    ``sink`` attaches an observability sink (event capture for traced
+    jobs).  Sinks are passive — attaching one cannot change simulated
+    results — but a sink must observe a *fresh* execution, so a static
+    job with a sink routes through :meth:`Lab.run_config` (never
+    memoised) instead of the memoising :meth:`Lab.run`.
 
     Dynamic jobs (``edits``) replay through
     :func:`repro.apps.dynamic.replay_app` and return the *final epoch's*
@@ -352,7 +358,7 @@ def execute_spec(spec: JobSpec, lab=None) -> AppResult:
     if spec.edits is not None:
         dres = lab.replay(
             spec.app, _resolved(spec), spec.config, spec.edits,
-            perturb=_perturb(spec), **dict(spec.params),
+            sink=sink, perturb=_perturb(spec), **dict(spec.params),
         )
         final = dres.final
         final.extra["replay_edits"] = dres.edits
@@ -371,8 +377,16 @@ def execute_spec(spec: JobSpec, lab=None) -> AppResult:
             effective_config(spec),
             spec=lab.spec,
             max_tasks=lab.max_tasks,
+            sink=sink,
             perturb=_perturb(spec),
             **dict(spec.params),
+        )
+    if sink is not None:
+        from repro.core.config import CONFIGS
+
+        return lab.run_config(
+            spec.app, _resolved(spec), CONFIGS[spec.config],
+            permuted=spec.permuted, sink=sink,
         )
     return lab.run(spec.app, _resolved(spec), spec.config, permuted=spec.permuted)
 
@@ -404,6 +418,9 @@ class JobResult:
     ``cached`` distinguishes a content-address hit from a fresh
     execution; ``attempts`` counts executions including fault-injected
     retries; ``wall_ms`` is service-side latency (queue wait included).
+    ``trace_id`` names the job's span trace (:mod:`repro.dash.trace`),
+    fetchable at ``GET /v1/traces/<id>`` while retained; ``None`` when
+    the broker runs with tracing off.
     """
 
     spec: JobSpec
@@ -417,6 +434,7 @@ class JobResult:
     attempts: int
     wall_ms: float
     tenant: str = "default"
+    trace_id: str | None = None
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -432,6 +450,7 @@ class JobResult:
             "attempts": self.attempts,
             "wall_ms": self.wall_ms,
             "tenant": self.tenant,
+            "trace_id": self.trace_id,
         }
 
 
@@ -443,6 +462,7 @@ def make_job_result(
     attempts: int,
     wall_ms: float,
     tenant: str,
+    trace_id: str | None = None,
 ) -> JobResult:
     extra = {
         k: result.extra[k]
@@ -461,5 +481,6 @@ def make_job_result(
         attempts=attempts,
         wall_ms=wall_ms,
         tenant=tenant,
+        trace_id=trace_id,
         extra=extra,
     )

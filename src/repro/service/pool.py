@@ -60,14 +60,19 @@ class LabPool:
                 self.labs_created += 1
         return lab
 
-    def run(self, spec: JobSpec) -> AppResult:
-        """Execute ``spec`` on the right kind of Lab for its job class."""
+    def run(self, spec: JobSpec, *, sink=None) -> AppResult:
+        """Execute ``spec`` on the right kind of Lab for its job class.
+
+        ``sink`` (event capture for traced jobs) passes straight through
+        to :func:`~repro.service.jobs.execute_spec`, which guarantees a
+        sink always observes a fresh, non-memoised execution.
+        """
         if spec.edits is not None:
             # dynamic: fresh single-use Lab, never installed as warm state
             with self._lock:
                 self.fresh_labs += 1
-            return execute_spec(spec, lab=None)
-        return execute_spec(spec, lab=self._warm_lab(spec))
+            return execute_spec(spec, lab=None, sink=sink)
+        return execute_spec(spec, lab=self._warm_lab(spec), sink=sink)
 
     def thread_lab_count(self) -> int:
         """Warm Labs held by the *calling* thread (test hook)."""

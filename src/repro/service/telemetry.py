@@ -31,6 +31,13 @@ _COUNTERS = (
 _GAUGES = ("queue_depth", "peak_queue_depth", "tenants", "workers")
 _CACHE_COUNTERS = ("hits", "misses", "evictions", "poisons_detected")
 _CACHE_GAUGES = ("entries", "bytes", "max_bytes")
+#: per-tenant counters from the stats document's ``per_tenant`` block
+_TENANT_COUNTERS = ("submitted", "completed", "rejected")
+
+
+def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:
@@ -82,6 +89,25 @@ def stats_to_prometheus(doc: dict, *, prefix: str = "repro_service") -> str:
     faults = doc.get("faults", {})
     for fname in sorted(faults):
         metric(f"{prefix}_fault_{fname}_total", "counter", faults[fname])
+    per_tenant = doc.get("per_tenant", {})
+    if per_tenant:
+        # one # TYPE line per family, then one labelled sample per tenant —
+        # the exposition-format rule exporter lint tests pin
+        for cname in _TENANT_COUNTERS:
+            lines.append(f"# TYPE {prefix}_tenant_{cname}_total counter")
+            for tenant in sorted(per_tenant):
+                value = per_tenant[tenant].get(cname, 0)
+                lines.append(
+                    f'{prefix}_tenant_{cname}_total{{tenant="{_escape_label(tenant)}"}} '
+                    f"{_fmt(value)}"
+                )
+        lines.append(f"# TYPE {prefix}_tenant_queue_depth gauge")
+        for tenant in sorted(per_tenant):
+            depth = per_tenant[tenant].get("queue_depth", 0)
+            lines.append(
+                f'{prefix}_tenant_queue_depth{{tenant="{_escape_label(tenant)}"}} '
+                f"{_fmt(depth)}"
+            )
     lines.extend(_histogram_lines(f"{prefix}_hit_latency_ms", doc["hit_latency_ms"]))
     lines.extend(_histogram_lines(f"{prefix}_miss_latency_ms", doc["miss_latency_ms"]))
     return "\n".join(lines) + "\n"
@@ -97,6 +123,10 @@ def stats_to_jsonl(doc: dict) -> str:
         },
         {"kind": "cache", **doc["cache"]},
         {"kind": "faults", **doc.get("faults", {})},
+        *(
+            {"kind": "tenant", "tenant": tenant, **counts}
+            for tenant, counts in sorted(doc.get("per_tenant", {}).items())
+        ),
         {"kind": "latency", "name": "hit_latency_ms", **doc["hit_latency_ms"]},
         {"kind": "latency", "name": "miss_latency_ms", **doc["miss_latency_ms"]},
     ]

@@ -559,3 +559,71 @@ class TestPrometheusHistogramLint:
             parsed = float(le_label)
             assert parsed in exact, f"le={le_label!r} lost precision"
             assert repr(parsed) == le_label
+
+
+class TestSparkHardening:
+    """_spark must render something sane for every degenerate series."""
+
+    def test_empty_series_placeholder(self):
+        from repro.metrics.export import _spark
+
+        assert _spark([]) == "(no data)"
+
+    def test_all_zero_series_is_flat_baseline(self):
+        from repro.metrics.export import _spark
+
+        out = _spark([0.0] * 10)
+        assert out == "▁" * 10
+
+    def test_constant_positive_series_renders_without_error(self):
+        from repro.metrics.export import _spark
+
+        out = _spark([5.0] * 10)
+        assert len(out) == 10
+        assert len(set(out)) == 1  # constant in, constant out
+
+    def test_negative_values_clamp_to_baseline(self):
+        """A negative sample must not index-wrap into the tallest block."""
+        from repro.metrics.export import _spark
+
+        out = _spark([-3.0, 0.0, 10.0])
+        assert out[0] == "▁", f"negative sample rendered {out[0]!r}"
+        assert out[2] == "█"
+
+    def test_all_negative_series_is_flat_baseline(self):
+        from repro.metrics.export import _spark
+
+        assert _spark([-5.0, -1.0, -3.0]) == "▁▁▁"
+
+    def test_non_finite_values_count_as_zero(self):
+        import math
+
+        from repro.metrics.export import _spark
+
+        out = _spark([math.inf, math.nan, 4.0, -math.inf])
+        assert len(out) == 4
+        assert out[2] == "█"
+        assert out[0] == out[1] == out[3] == "▁"
+
+    def test_rebinning_long_series_keeps_peaks(self):
+        from repro.metrics.export import _spark
+
+        values = [0.0] * 200
+        values[137] = 9.0
+        out = _spark(values, width=60)
+        assert len(out) == 60
+        assert "█" in out, "the peak must survive re-binning"
+
+    def test_dashboard_renders_with_degenerate_series(self):
+        """format_dashboard survives a summary whose series are empty."""
+        import json as _json
+
+        from repro.metrics.export import format_dashboard
+
+        lab = Lab(size="tiny", metrics=True)
+        summary = lab.run("bfs", "roadNet-CA", "persist-CTA").extra["metrics"]
+        doc = _json.loads(_json.dumps(summary))  # deep copy
+        for s in doc["series"].values():
+            s["values"] = []
+        text = format_dashboard(doc)
+        assert "(no data)" in text

@@ -491,3 +491,99 @@ class TestHttp:
         statuses = sorted(status for status, _ in responses)
         assert statuses[0] == 200, "at least one job must run"
         assert 429 in statuses, "overflow must answer 429"
+
+
+# ---------------------------------------------------------------------------
+# Telemetry exporters: per-tenant labels + exposition-format lint
+# ---------------------------------------------------------------------------
+def _tenant_stats_doc() -> dict:
+    """A stats document with per-tenant traffic, straight off a broker."""
+
+    async def main():
+        async with Broker(BrokerConfig(workers=2, tenant_queue_limit=1)) as broker:
+            spec = JobSpec(app="bfs", **TINY)
+            await broker.submit(spec, tenant="alpha")
+            await broker.submit(spec, tenant="alpha")  # warm hit
+            await broker.submit(spec, tenant="beta")
+            return broker.stats().to_dict()
+
+    return _run(main())
+
+
+class TestTelemetry:
+    def test_per_tenant_labelled_series(self):
+        from repro.service.telemetry import stats_to_prometheus
+
+        doc = _tenant_stats_doc()
+        text = stats_to_prometheus(doc)
+        assert 'repro_service_tenant_submitted_total{tenant="alpha"} 2' in text
+        assert 'repro_service_tenant_submitted_total{tenant="beta"} 1' in text
+        assert 'repro_service_tenant_completed_total{tenant="alpha"} 2' in text
+        assert 'repro_service_tenant_rejected_total{tenant="alpha"} 0' in text
+        assert 'repro_service_tenant_queue_depth{tenant="alpha"} 0' in text
+
+    def test_one_type_line_per_labelled_family(self):
+        """Exposition lint: a family is declared once, above all its samples."""
+        from repro.service.telemetry import stats_to_prometheus
+
+        lines = stats_to_prometheus(_tenant_stats_doc()).splitlines()
+        type_decls = [ln for ln in lines if ln.startswith("# TYPE ")]
+        families = [ln.split()[2] for ln in type_decls]
+        assert len(families) == len(set(families)), "duplicate # TYPE declaration"
+        # every labelled tenant sample sits under exactly one declaration
+        declared = set(families)
+        for ln in lines:
+            if ln.startswith("#") or not ln.strip():
+                continue
+            name = ln.split("{")[0].split()[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            assert base in declared, f"undeclared sample {name}"
+
+    def test_exposition_lines_are_well_formed(self):
+        """Every sample line parses as ``name{labels} value``."""
+        import re
+
+        from repro.service.telemetry import stats_to_prometheus
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$"
+        )
+        for ln in stats_to_prometheus(_tenant_stats_doc()).splitlines():
+            if ln.startswith("#") or not ln.strip():
+                continue
+            assert sample.match(ln), f"malformed exposition line: {ln!r}"
+
+    def test_tenant_label_values_are_escaped(self):
+        from repro.service.telemetry import stats_to_prometheus
+
+        doc = _tenant_stats_doc()
+        doc["per_tenant"] = {
+            'we"ird\\ten\nant': {"submitted": 1, "completed": 1,
+                                 "rejected": 0, "queue_depth": 0}
+        }
+        text = stats_to_prometheus(doc)
+        assert '{tenant="we\\"ird\\\\ten\\nant"}' in text
+
+    def test_jsonl_has_tenant_records(self):
+        from repro.service.telemetry import stats_to_jsonl
+
+        doc = _tenant_stats_doc()
+        records = [json.loads(ln) for ln in stats_to_jsonl(doc).splitlines()]
+        tenants = {r["tenant"]: r for r in records if r["kind"] == "tenant"}
+        assert tenants["alpha"]["submitted"] == 2
+        assert tenants["beta"]["submitted"] == 1
+
+    def test_no_tenants_no_tenant_lines(self):
+        from repro.service.telemetry import stats_to_prometheus
+
+        doc = _tenant_stats_doc()
+        doc["per_tenant"] = {}
+        assert "tenant_" not in stats_to_prometheus(doc)
+
+    def test_stats_doc_carries_per_tenant_block(self):
+        doc = _tenant_stats_doc()
+        assert doc["per_tenant"]["alpha"]["completed"] == 2
+        assert doc["per_tenant"]["beta"]["queue_depth"] == 0
